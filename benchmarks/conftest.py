@@ -1,0 +1,29 @@
+"""Benchmark harness plumbing.
+
+Experiment reports are collected here and echoed after the
+pytest-benchmark table (pytest captures stdout during the runs), and
+also written to ``results/<experiment>.txt`` so a benchmark session
+leaves the regenerated tables on disk.
+"""
+
+import pathlib
+
+_REPORTS = []
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def record_report(experiment_id: str, text: str) -> None:
+    """Register a report for the end-of-session summary and save it."""
+    _REPORTS.append((experiment_id, text))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{experiment_id}.txt").write_text(text + "\n")
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _REPORTS:
+        return
+    terminalreporter.write_sep("=", "reproduced tables and figures")
+    for experiment_id, text in _REPORTS:
+        terminalreporter.write_sep("-", experiment_id)
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,90 @@
+"""Bucket-histogram scenario: the memory-bound win (NAS IS flavour).
+
+Integer sort resets its bucket arrays every ranking pass and reads them
+back scattered by key.  When the bucket array dwarfs the caches, those
+reads walk to main memory at ~60 nJ apiece while the value they fetch
+can be re-derived in one or two register operations — recomputation's
+best case (the paper reports up to 87% EDP gain on NAS IS).
+
+This example builds the kernel from scratch with the public
+ProgramBuilder API (independent of the packaged suite) and prints what
+each policy harvests.
+
+Run:  python examples/bucket_sort.py
+"""
+
+from repro import ProgramBuilder, evaluate_policies, paper_energy_model
+from repro.isa import Opcode
+
+BUCKET_WORDS = 2048  # 2x the scaled L2 -> scattered reads miss far
+PASSES = 8
+READS_PER_PASS = 384
+
+
+def build_bucket_kernel() -> "repro.Program":
+    b = ProgramBuilder("bucket_sort")
+    keys = b.data(
+        [(i * 1103515245 + 12345) % (1 << 31) for i in range(1024)], read_only=True
+    )
+    buckets = b.reserve(BUCKET_WORDS)
+
+    r_keys, r_buckets, marker, key, addr, sink = b.regs(
+        "keys", "buckets", "marker", "key", "addr", "sink"
+    )
+    b.li(r_keys, keys)
+    b.li(r_buckets, buckets)
+    b.li(sink, 0)
+
+    with b.loop("pass_", 0, PASSES) as pass_index:
+        # Reset the buckets with this pass's marker value.  The marker
+        # is derived from the (live) pass counter, so the eventual
+        # recomputation slice needs no history-table checkpoint.
+        b.mul(marker, pass_index, 2246822519)
+        b.op(Opcode.XOR, marker, marker, 0x5DEECE66D)
+        with b.loop("r", 0, BUCKET_WORDS) as reset_index:
+            b.add(addr, r_buckets, reset_index)
+            b.st(marker, addr)
+
+        # Key-scattered reads of the bucket array: the swappable loads.
+        with b.loop("j", 0, READS_PER_PASS) as j:
+            b.mul(key, pass_index, READS_PER_PASS)
+            b.add(key, key, j)
+            b.op(Opcode.AND, key, key, 1023)
+            b.add(key, key, r_keys)
+            b.ld(key, key)
+            b.op(Opcode.AND, key, key, BUCKET_WORDS - 1)
+            b.add(addr, r_buckets, key)
+            b.ld(addr, addr)  # <- swapped for recomputation
+            b.add(sink, sink, addr)
+
+    out = b.reserve(1)
+    r_out = b.reg("out")
+    b.li(r_out, out)
+    b.st(sink, r_out)
+    return b.build()
+
+
+def main() -> None:
+    program = build_bucket_kernel()
+    results = evaluate_policies(program, model=paper_energy_model())
+
+    compilation = results["Compiler"].compilation
+    print(f"slices: {len(compilation.rslices)} "
+          f"(lengths {sorted(rs.length for rs in compilation.rslices)})")
+    print(f"rejected loads: {len(compilation.rejected)} "
+          f"(key reads are program inputs and cannot be recomputed)")
+
+    print("\npolicy         EDP gain   energy gain   time gain")
+    for name, result in results.items():
+        print(
+            f"{name:12s} {result.edp_gain_percent:8.2f}%  "
+            f"{result.energy_gain_percent:10.2f}%  {result.time_gain_percent:8.2f}%"
+        )
+
+    best = max(results.values(), key=lambda r: r.edp_gain_percent)
+    print(f"\nbest policy: {best.policy} "
+          f"({best.edp_gain_percent:.1f}% EDP gain - the paper's IS-class win)")
+
+
+if __name__ == "__main__":
+    main()

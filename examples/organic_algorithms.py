@@ -1,0 +1,59 @@
+"""What does the amnesic compiler find in *organic* code?
+
+The packaged suite is calibrated to reproduce the paper's evaluation;
+this example runs the compiler over straightforward implementations of
+familiar algorithms (matrix multiply, prefix sum, Fibonacci memo table,
+histogram, Horner polynomial evaluation) and reports what it could and
+could not swap — and why.
+
+The refusals are as instructive as the swaps:
+
+* pure input reads (matmul's A/B, Horner's coefficients) have no
+  producer to re-execute;
+* loop-carried chains (Fibonacci's table, the histogram's counters)
+  cannot be replayed from a single latest checkpoint;
+* only genuine produce-then-reload dataflow survives the compiler's
+  replay validation.
+
+Run:  python examples/organic_algorithms.py
+"""
+
+from repro import compile_amnesic, paper_energy_model
+from repro.core.execution import run_amnesic, run_classic
+from repro.workloads.kernels.algorithms import ALGORITHMS
+
+
+def main() -> None:
+    model = paper_energy_model()
+    print(f"{'kernel':12s} {'loads':>6s} {'swapped':>8s}  "
+          f"{'EDP gain':>9s}  refusal reasons")
+    for name, build in sorted(ALGORITHMS.items()):
+        program, result_base, expected = build()
+        compilation = compile_amnesic(program, model)
+        classic = run_classic(program, model)
+        amnesic = run_amnesic(compilation, "Compiler", model, verify=True)
+
+        # The outputs must be untouched, whatever was swapped.
+        measured = amnesic.cpu.memory.read_block(result_base, len(expected))
+        assert [float(v) for v in measured] == [
+            float(v) for v in expected
+        ], f"{name} output diverged"
+
+        gain = 100 * (classic.edp - amnesic.edp) / classic.edp
+        reasons = sorted(
+            {reason.split(":")[0] for reason in compilation.rejected.values()}
+        )
+        print(
+            f"{name:12s} {len(program.static_loads()) + len(compilation.rslices):6d} "
+            f"{len(compilation.rslices):8d}  {gain:8.2f}%  {'; '.join(reasons)}"
+        )
+
+    print(
+        "\nEvery kernel's output was verified against its Python reference"
+        "\nunder amnesic execution - the compiler only ever swaps what it"
+        "\ncan prove, and proves only what the history table can replay."
+    )
+
+
+if __name__ == "__main__":
+    main()

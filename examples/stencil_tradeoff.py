@@ -1,0 +1,120 @@
+"""Stencil scenario: when always-recomputing backfires (srad flavour).
+
+srad's coefficient tables are almost always L1-resident, yet the
+compiler's probabilistic energy model — fed suite-wide miss statistics —
+still swaps their loads.  The Compiler policy then re-executes a
+six-instruction slice where a 0.88 nJ / 3.66 ns L1 hit would have done,
+and EDP *degrades*; the miss-driven FLC policy skips those hits and
+keeps the gains from the rare far misses (paper Figure 3, sr bars).
+
+This example sweeps the recomputation-chain length to show the
+crossover: short chains break even against L1, long chains lose under
+Compiler while FLC stays flat.
+
+Run:  python examples/stencil_tradeoff.py
+"""
+
+from repro import ProgramBuilder, evaluate_policies, paper_energy_model
+from repro.isa import Opcode
+
+ROWS = 10
+HOT_WORDS = 128  # exactly the scaled L1
+COLD_WORDS = 4096  # 4x the scaled L2
+
+
+def build_stencil(chain_length: int) -> "repro.Program":
+    b = ProgramBuilder(f"stencil_chain{chain_length}")
+    inputs = b.data(
+        [(i * 48271) % (1 << 31) for i in range(512)], read_only=True
+    )
+    cold = b.reserve(COLD_WORDS)
+    hot = b.reserve(HOT_WORDS)
+
+    r_in, r_cold, r_hot, seed, coeff, addr, lcg, sink = b.regs(
+        "in", "cold", "hot", "seed", "coeff", "addr", "lcg", "sink"
+    )
+    b.li(r_in, inputs)
+    b.li(r_cold, cold)
+    b.li(r_hot, hot)
+    b.li(lcg, 88172645463325252)
+    b.li(sink, 0)
+
+    with b.loop("row", 0, ROWS) as row:
+        # Refresh the far field occasionally (keeps some memory traffic).
+        b.op(Opcode.AND, addr, row, 3)
+        with b.when(Opcode.BEQ, addr, b.zero):
+            b.op(Opcode.AND, seed, row, 511)
+            b.add(seed, seed, r_in)
+            b.ld(seed, seed)
+            b.op(Opcode.MOV, coeff, seed)
+            for step in range(chain_length - 1):
+                b.op(Opcode.MUL if step % 2 else Opcode.ADD, coeff, coeff, 29 + step)
+            with b.loop("f", 0, COLD_WORDS) as fill:
+                b.add(addr, r_cold, fill)
+                b.st(coeff, addr)
+
+        # Recompute the hot coefficient table every row.
+        b.op(Opcode.AND, seed, row, 511)
+        b.add(seed, seed, r_in)
+        b.ld(seed, seed)
+        b.op(Opcode.MOV, coeff, seed)
+        for step in range(chain_length - 1):
+            b.op(Opcode.XOR if step % 2 else Opcode.MUL, coeff, coeff, 37 + step)
+        with b.loop("h", 0, HOT_WORDS) as fill:
+            b.add(addr, r_hot, fill)
+            b.st(coeff, addr)
+
+        # The stencil sweep: mostly hot-table reads, a few far reads.
+        with b.loop("c", 0, 160) as col:
+            b.mul(lcg, lcg, 1103515245)
+            b.add(lcg, lcg, 12345)
+            b.op(Opcode.AND, addr, lcg, HOT_WORDS - 1)
+            b.add(addr, addr, r_hot)
+            b.ld(addr, addr)  # swapped: usually an L1 hit
+            b.add(sink, sink, addr)
+        with b.loop("g", 0, 14) as far:
+            b.mul(lcg, lcg, 1103515245)
+            b.add(lcg, lcg, 12345)
+            b.op(Opcode.AND, addr, lcg, COLD_WORDS - 1)
+            b.add(addr, addr, r_cold)
+            b.ld(addr, addr)  # swapped: usually a far miss
+            b.add(sink, sink, addr)
+
+    out = b.reserve(1)
+    r_out = b.reg("out")
+    b.li(r_out, out)
+    b.st(sink, r_out)
+    return b.build()
+
+
+def main() -> None:
+    model = paper_energy_model()
+    print("chain   Compiler EDP   FLC EDP     verdict")
+    for chain_length in (1, 3, 6, 9):
+        results = evaluate_policies(
+            build_stencil(chain_length),
+            policies=("Compiler", "FLC"),
+            model=model,
+        )
+        compiler_gain = results["Compiler"].edp_gain_percent
+        flc_gain = results["FLC"].edp_gain_percent
+        swapped = len(results["Compiler"].compilation.rslices)
+        if not swapped:
+            verdict = "compiler refuses to swap (E_rc above budget)"
+        elif compiler_gain < 0 and flc_gain > compiler_gain + 2:
+            verdict = "Compiler degrades - FLC protects"
+        elif compiler_gain > 0:
+            verdict = "both gain"
+        else:
+            verdict = "both struggle"
+        print(f"{chain_length:5d} {compiler_gain:12.2f}% {flc_gain:9.2f}%    {verdict}")
+
+    print(
+        "\nLonger slices cost more than the L1 hits they replace: the"
+        "\nalways-firing Compiler policy inverts from winner to loser while"
+        "\nthe miss-driven FLC policy stays safe (the paper's sr result)."
+    )
+
+
+if __name__ == "__main__":
+    main()

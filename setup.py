@@ -1,0 +1,5 @@
+"""Setup shim: enables `python setup.py develop` where the `wheel`
+package (required for PEP 660 editable installs) is unavailable."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,74 @@
+"""AMNESIAC reproduction: trading computation for communication.
+
+A full-system reproduction of *AMNESIAC: Amnesic Automatic Computer*
+(Akturk & Karpuzcu, ASPLOS 2017): a RISC-style ISA and machine
+simulator, an energy/timing model, a profile-guided amnesic compiler
+that swaps energy-hungry loads for recomputation slices, the amnesic
+microarchitecture (SFile/Renamer/Hist/IBuff), runtime firing policies,
+a calibrated 33-benchmark workload suite, and a harness regenerating
+every table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import ProgramBuilder, compare
+
+    builder = ProgramBuilder("demo")
+    # ... write a kernel (see examples/quickstart.py) ...
+    result = compare(builder.build(), policy="FLC")
+    print(f"EDP gain: {result.edp_gain_percent:.1f}%")
+"""
+
+from .compiler import (
+    CompilationResult,
+    PassOptions,
+    RSlice,
+    compile_amnesic,
+)
+from .core import (
+    POLICY_NAMES,
+    AmnesicCPU,
+    ExecutionOutcome,
+    PolicyComparison,
+    compare,
+    evaluate_policies,
+    make_policy,
+    run_amnesic,
+    run_classic,
+)
+from .energy import EnergyModel, EPITable, paper_energy_model
+from .errors import ReproError
+from .isa import Opcode, Program, ProgramBuilder
+from .machine import CPU, Level, MachineConfig, default_config, paper_geometry
+from .trace import profile_program
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AmnesicCPU",
+    "CPU",
+    "CompilationResult",
+    "EPITable",
+    "EnergyModel",
+    "ExecutionOutcome",
+    "Level",
+    "MachineConfig",
+    "Opcode",
+    "POLICY_NAMES",
+    "PassOptions",
+    "PolicyComparison",
+    "Program",
+    "ProgramBuilder",
+    "RSlice",
+    "ReproError",
+    "compare",
+    "compile_amnesic",
+    "default_config",
+    "evaluate_policies",
+    "make_policy",
+    "paper_energy_model",
+    "paper_geometry",
+    "profile_program",
+    "run_amnesic",
+    "run_classic",
+    "__version__",
+]

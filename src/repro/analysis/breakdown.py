@@ -1,0 +1,117 @@
+"""Dynamic instruction mix and energy breakdown (paper Table 4).
+
+For each benchmark, under the Compiler policy (which "incurs the maximum
+possible number of recomputations"):
+
+* % increase in dynamic instruction count over classic;
+* % decrease in dynamic load count;
+* classic energy breakdown: Load / Store / Non-mem (%);
+* amnesic energy breakdown: Load / Store / Non-mem / Hist Read (%).
+
+Group mapping from our finer-grained accounting: ``Non-mem`` absorbs the
+amnesic control overheads (RCMP/REC/RTN and probes) since the paper
+models them after branches/stores-to-L1/jumps executed by the core, and
+``Store`` keeps the write-back traffic it caused.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from ..core.execution import PolicyComparison
+from ..energy.account import (
+    GROUP_AMNESIC,
+    GROUP_HIST,
+    GROUP_LOAD,
+    GROUP_NONMEM,
+    GROUP_STORE,
+    GROUP_WRITEBACK,
+)
+from .tables import render_table
+
+
+@dataclasses.dataclass
+class BreakdownRow:
+    """One benchmark's Table 4 row."""
+
+    benchmark: str
+    instruction_increase_percent: float
+    load_decrease_percent: float
+    classic_load: float
+    classic_store: float
+    classic_nonmem: float
+    amnesic_load: float
+    amnesic_store: float
+    amnesic_nonmem: float
+    amnesic_hist: float
+
+
+def _shares(breakdown: Dict[str, float]) -> Dict[str, float]:
+    total = sum(breakdown.values())
+    if total <= 0:
+        return {key: 0.0 for key in breakdown}
+    return {key: 100.0 * value / total for key, value in breakdown.items()}
+
+
+def breakdown_row(benchmark: str, comparison: PolicyComparison) -> BreakdownRow:
+    """Compute the Table 4 row from one Compiler-policy comparison."""
+    classic_stats = comparison.classic.stats
+    amnesic_stats = comparison.amnesic.stats
+
+    instruction_increase = 100.0 * (
+        amnesic_stats.dynamic_instructions - classic_stats.dynamic_instructions
+    ) / max(classic_stats.dynamic_instructions, 1)
+    load_decrease = 100.0 * (
+        classic_stats.loads_performed - amnesic_stats.loads_performed
+    ) / max(classic_stats.loads_performed, 1)
+
+    classic = _shares(comparison.classic.account.breakdown())
+    amnesic = _shares(comparison.amnesic.account.breakdown())
+
+    return BreakdownRow(
+        benchmark=benchmark,
+        instruction_increase_percent=instruction_increase,
+        load_decrease_percent=load_decrease,
+        classic_load=classic[GROUP_LOAD],
+        classic_store=classic[GROUP_STORE] + classic[GROUP_WRITEBACK],
+        classic_nonmem=classic[GROUP_NONMEM] + classic[GROUP_AMNESIC],
+        amnesic_load=amnesic[GROUP_LOAD],
+        amnesic_store=amnesic[GROUP_STORE] + amnesic[GROUP_WRITEBACK],
+        amnesic_nonmem=amnesic[GROUP_NONMEM] + amnesic[GROUP_AMNESIC],
+        amnesic_hist=amnesic[GROUP_HIST],
+    )
+
+
+def breakdown_table(
+    results: Dict[str, Dict[str, PolicyComparison]], policy: str = "Compiler"
+) -> List[BreakdownRow]:
+    """Table 4 rows for every benchmark in *results*."""
+    return [
+        breakdown_row(benchmark, policies[policy])
+        for benchmark, policies in results.items()
+    ]
+
+
+def render_breakdown(rows: List[BreakdownRow], title: str = "") -> str:
+    headers = [
+        "bench", "+instr%", "-loads%",
+        "cl.Load%", "cl.Store%", "cl.Nonmem%",
+        "am.Load%", "am.Store%", "am.Nonmem%", "am.Hist%",
+    ]
+    table_rows = [
+        [
+            row.benchmark,
+            row.instruction_increase_percent,
+            row.load_decrease_percent,
+            row.classic_load,
+            row.classic_store,
+            row.classic_nonmem,
+            row.amnesic_load,
+            row.amnesic_store,
+            row.amnesic_nonmem,
+            row.amnesic_hist,
+        ]
+        for row in rows
+    ]
+    return render_table(headers, table_rows, title=title)

@@ -1,0 +1,60 @@
+"""Plain-text table rendering for the evaluation harness.
+
+The harness prints every reproduced table and figure as an aligned text
+table (the closest analog of the paper's figures that a terminal can
+carry); benchmarks `tee` this output into the experiment record.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def format_cell(value: Cell, precision: int = 2) -> str:
+    """Render one cell: floats get fixed *precision*, the rest ``str``."""
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    title: str = "",
+    precision: int = 2,
+) -> str:
+    """Render an aligned text table with a separator under the header."""
+    rendered_rows: List[List[str]] = [
+        [format_cell(cell, precision) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append("  ".join("-" * w for w in widths))
+    parts.extend(line(row) for row in rendered_rows)
+    return "\n".join(parts)
+
+
+def render_histogram(
+    bins: Sequence[str], fractions: Sequence[float], width: int = 40,
+    title: str = "",
+) -> str:
+    """Render a horizontal ASCII bar histogram (fractions sum to ~1)."""
+    label_width = max((len(b) for b in bins), default=0)
+    parts = [title] if title else []
+    for label, fraction in zip(bins, fractions):
+        bar = "#" * max(0, round(fraction * width))
+        parts.append(f"{label.rjust(label_width)} |{bar} {100 * fraction:.1f}%")
+    return "\n".join(parts)

@@ -1,0 +1,209 @@
+"""Command-line interface: explore the suite and rerun the evaluation.
+
+Usage (also available as ``python -m repro``)::
+
+    repro list [--suite SPEC] [--responsive]
+    repro run mcf [--policy FLC | --all-policies] [--scale 1.0]
+    repro compile is [--scale 1.0]
+    repro disasm bfs [--amnesic] [--limit 40]
+    repro experiment fig3 [--scale 1.0]
+    repro experiments
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.tables import render_table
+from .compiler import compile_amnesic
+from .core.execution import evaluate_policies
+from .core.policies import POLICY_NAMES
+from .energy.tech import paper_energy_model
+from .harness.experiments import EXPERIMENTS, run_experiment
+from .harness.runner import SuiteRunner
+from .workloads.suite import REGISTRY, get
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    return args.handler(args)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AMNESIAC (ASPLOS 2017) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    list_cmd = sub.add_parser("list", help="list the benchmark suite")
+    list_cmd.add_argument("--suite", help="filter by suite (SPEC/NAS/PARSEC/Rodinia)")
+    list_cmd.add_argument(
+        "--responsive", action="store_true",
+        help="only the 11 responsive benchmarks",
+    )
+    list_cmd.set_defaults(handler=cmd_list)
+
+    run_cmd = sub.add_parser("run", help="evaluate one benchmark")
+    run_cmd.add_argument("benchmark")
+    run_cmd.add_argument("--policy", default=None, choices=POLICY_NAMES)
+    run_cmd.add_argument("--all-policies", action="store_true")
+    run_cmd.add_argument("--scale", type=float, default=1.0)
+    run_cmd.set_defaults(handler=cmd_run)
+
+    compile_cmd = sub.add_parser("compile", help="show a benchmark's slices")
+    compile_cmd.add_argument("benchmark")
+    compile_cmd.add_argument("--scale", type=float, default=1.0)
+    compile_cmd.set_defaults(handler=cmd_compile)
+
+    disasm_cmd = sub.add_parser("disasm", help="disassemble a benchmark")
+    disasm_cmd.add_argument("benchmark")
+    disasm_cmd.add_argument("--amnesic", action="store_true",
+                            help="disassemble the rewritten amnesic binary")
+    disasm_cmd.add_argument("--limit", type=int, default=60,
+                            help="lines to print (0 = everything)")
+    disasm_cmd.add_argument("--scale", type=float, default=1.0)
+    disasm_cmd.set_defaults(handler=cmd_disasm)
+
+    experiment_cmd = sub.add_parser("experiment", help="rerun one paper artifact")
+    experiment_cmd.add_argument("experiment_id", choices=sorted(EXPERIMENTS))
+    experiment_cmd.add_argument("--scale", type=float, default=1.0)
+    experiment_cmd.set_defaults(handler=cmd_experiment)
+
+    experiments_cmd = sub.add_parser("experiments", help="list the registry")
+    experiments_cmd.set_defaults(handler=cmd_experiments)
+
+    report_cmd = sub.add_parser(
+        "report", help="write a full markdown evaluation report"
+    )
+    report_cmd.add_argument("--out", default="results/report.md")
+    report_cmd.add_argument("--scale", type=float, default=1.0)
+    report_cmd.add_argument(
+        "--experiments", nargs="*", default=None,
+        help="experiment ids (default: every table/figure except table6)",
+    )
+    report_cmd.set_defaults(handler=cmd_report)
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Handlers.
+# ----------------------------------------------------------------------
+def cmd_list(args) -> int:
+    rows = []
+    for spec in REGISTRY:
+        if args.suite and spec.suite != args.suite:
+            continue
+        if args.responsive and not spec.responsive:
+            continue
+        rows.append(
+            [spec.name, spec.suite, "yes" if spec.responsive else "",
+             spec.description.split(";")[0][:60]]
+        )
+    print(render_table(["bench", "suite", "responsive", "description"], rows))
+    return 0
+
+
+def cmd_run(args) -> int:
+    spec = _lookup(args.benchmark)
+    if spec is None:
+        return 1
+    program = spec.instantiate(args.scale)
+    policies = POLICY_NAMES if (args.all_policies or not args.policy) else (args.policy,)
+    results = evaluate_policies(program, policies=policies, model=paper_energy_model())
+    rows = []
+    for name, result in results.items():
+        stats = result.amnesic.stats
+        rows.append(
+            [name, result.edp_gain_percent, result.energy_gain_percent,
+             result.time_gain_percent, stats.recomputations_fired,
+             stats.recomputations_skipped, stats.recomputation_fallbacks]
+        )
+    print(render_table(
+        ["policy", "EDP gain %", "energy %", "time %", "fired", "skipped", "fallback"],
+        rows, title=f"{spec.name} (scale {args.scale})",
+    ))
+    return 0
+
+
+def cmd_compile(args) -> int:
+    spec = _lookup(args.benchmark)
+    if spec is None:
+        return 1
+    program = spec.instantiate(args.scale)
+    result = compile_amnesic(program, paper_energy_model())
+    rows = [
+        [rs.slice_id, rs.load_pc, rs.length, rs.height,
+         f"{rs.traversal_cost.energy_nj:.2f}",
+         f"{rs.estimated_load_cost.energy_nj:.2f}",
+         "yes" if rs.has_nonrecomputable_inputs else "no"]
+        for rs in result.rslices
+    ]
+    print(render_table(
+        ["slice", "load pc", "len", "height", "E_rc nJ", "E_ld nJ", "w/ nc"],
+        rows, title=f"{spec.name}: {len(result.rslices)} slices embedded",
+    ))
+    if result.rejected:
+        print(f"\nrejected loads ({len(result.rejected)}):")
+        for pc, reason in sorted(result.rejected.items()):
+            print(f"  pc {pc}: {reason}")
+    return 0
+
+
+def cmd_disasm(args) -> int:
+    spec = _lookup(args.benchmark)
+    if spec is None:
+        return 1
+    program = spec.instantiate(args.scale)
+    if args.amnesic:
+        program = compile_amnesic(program, paper_energy_model()).binary.program
+    text = program.render()
+    lines = text.splitlines()
+    if args.limit and len(lines) > args.limit:
+        shown = lines[: args.limit]
+        shown.append(f"  ... ({len(lines) - args.limit} more lines)")
+        text = "\n".join(shown)
+    print(text)
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    runner = SuiteRunner(scale=args.scale)
+    report = run_experiment(args.experiment_id, runner)
+    print(report.text)
+    return 0
+
+
+def cmd_report(args) -> int:
+    from .harness.report import write_report
+
+    runner = SuiteRunner(scale=args.scale)
+    path = write_report(runner, args.out, experiments=args.experiments)
+    print(f"report written to {path}")
+    return 0
+
+
+def cmd_experiments(args) -> int:
+    for experiment_id, fn in EXPERIMENTS.items():
+        doc = (fn.__doc__ or "").strip().splitlines()[0]
+        print(f"{experiment_id:8s} {doc}")
+    return 0
+
+
+def _lookup(name: str):
+    try:
+        return get(name)
+    except KeyError as error:
+        print(error, file=sys.stderr)
+        return None
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""The amnesic compiler: slice extraction, formation, validation, rewriting."""
+
+from .amnesic_pass import (
+    SELECTION_ALL_VALID,
+    SELECTION_PROBABILISTIC,
+    CompilationResult,
+    PassOptions,
+    compile_amnesic,
+)
+from .annotate import AmnesicBinary, SliceInfo, rewrite_binary
+from .cost import ESTIMATION_GLOBAL, ESTIMATION_PER_LOAD, CostContext
+from .deadstore import DeadStoreAnalysis, StoreSiteReport, analyse_dead_stores, analysis_for_compilation
+from .formation import FormationResult, form_slice_tree
+from .leaves import ValidationReport, classify_and_validate
+from .producers import (
+    DEFAULT_MAX_HEIGHT,
+    DEFAULT_MAX_NODES,
+    DEFAULT_MAX_SAMPLES,
+    CandidateTemplate,
+    TemplateExtractor,
+)
+from .rslice import LeafInput, LeafInputKind, RSlice, TemplateNode
+
+__all__ = [
+    "AmnesicBinary",
+    "CandidateTemplate",
+    "CompilationResult",
+    "CostContext",
+    "DeadStoreAnalysis",
+    "ESTIMATION_GLOBAL",
+    "ESTIMATION_PER_LOAD",
+    "StoreSiteReport",
+    "analyse_dead_stores",
+    "analysis_for_compilation",
+    "DEFAULT_MAX_HEIGHT",
+    "DEFAULT_MAX_NODES",
+    "DEFAULT_MAX_SAMPLES",
+    "FormationResult",
+    "LeafInput",
+    "LeafInputKind",
+    "PassOptions",
+    "RSlice",
+    "SELECTION_ALL_VALID",
+    "SELECTION_PROBABILISTIC",
+    "SliceInfo",
+    "TemplateExtractor",
+    "TemplateNode",
+    "ValidationReport",
+    "classify_and_validate",
+    "compile_amnesic",
+    "form_slice_tree",
+    "rewrite_binary",
+]

@@ -1,0 +1,250 @@
+"""Binary rewriting: embed slices, swap loads for RCMP, plant RECs.
+
+Implements paper section 3.1.2 ("Slice Annotation") on our program
+representation:
+
+* each selected load becomes an ``RCMP`` that inherits the load's
+  destination and address operands and targets its slice's entry label;
+* the slice body is embedded after the program's final ``HALT`` (normal
+  control flow can only enter it through the RCMP branch) and ends with
+  an ``RTN`` naming the scratch register holding the recomputed value;
+* a ``REC`` is planted next to every original instruction whose replica
+  serves as a slice node with checkpointed inputs.  Deviation from the
+  paper, documented in DESIGN.md: for compute leaves the REC goes
+  immediately *before* the instruction rather than after, so that
+  in-place updates (``add r1, r1, 1``) checkpoint the instruction's
+  inputs, not its result.  Checkpoint-load leaves keep the paper's
+  *after* placement since they checkpoint the load's result register.
+
+Slice instructions address the scratch file through virtual
+:class:`~repro.isa.operands.SReg` indices (one per node, post-order) and
+the history table through :class:`~repro.isa.operands.HistRef` operands
+``(leaf_id, slot)``, where ``leaf_id`` is the owning node's post-order
+index — the reproduction's concrete spelling of the paper's
+``leaf-address``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import CompilationError
+from ..isa.instructions import Instruction, rcmp, rec, rtn
+from ..isa.opcodes import Opcode
+from ..isa.operands import HistRef, Imm, Operand, Reg, SReg
+from ..isa.program import Program, SliceRegion
+from ..isa.validate import validate_program
+from .rslice import LeafInputKind, RSlice, TemplateNode
+
+
+@dataclasses.dataclass
+class SliceInfo:
+    """Runtime metadata the amnesic scheduler needs for one slice."""
+
+    rslice: RSlice
+    entry_label: str
+    #: Node ids (post-order indices) whose Hist entry must be present
+    #: before recomputation may fire; missing entries force a fallback.
+    hist_leaf_ids: Tuple[int, ...]
+    #: Scratch registers used by one traversal (SFile demand).
+    sreg_demand: int
+
+    @property
+    def slice_id(self) -> int:
+        return self.rslice.slice_id
+
+    @property
+    def length(self) -> int:
+        return self.rslice.length
+
+
+@dataclasses.dataclass
+class AmnesicBinary:
+    """An annotated program plus per-slice runtime metadata."""
+
+    program: Program
+    slices: Dict[int, SliceInfo]
+
+    @property
+    def slice_count(self) -> int:
+        return len(self.slices)
+
+    def info_for(self, slice_id: int) -> SliceInfo:
+        return self.slices[slice_id]
+
+
+def rewrite_binary(original: Program, rslices: List[RSlice]) -> AmnesicBinary:
+    """Produce the amnesic binary embedding *rslices* into *original*."""
+    if original.slices:
+        raise CompilationError("program already carries slices; cannot re-annotate")
+    swapped = {rs.load_pc: rs for rs in rslices}
+    if len(swapped) != len(rslices):
+        raise CompilationError("multiple slices target the same load pc")
+
+    plan = _CheckpointPlan(rslices)
+    rewritten = Program(f"{original.name}+amnesic")
+    rewritten.data = original.data.copy()
+
+    pc_map: Dict[int, int] = {}
+    rcmp_new_pcs: Dict[int, int] = {}
+    for old_pc, instruction in enumerate(original.instructions):
+        pc_map[old_pc] = len(rewritten.instructions)
+        for record in plan.before(old_pc):
+            rewritten.append(record)
+        if old_pc in swapped:
+            rslice = swapped[old_pc]
+            if instruction.opcode is not Opcode.LD:
+                raise CompilationError(
+                    f"slice {rslice.slice_id} targets pc {old_pc}, which is "
+                    f"not a load"
+                )
+            rcmp_new_pcs[rslice.slice_id] = len(rewritten.instructions)
+            rewritten.append(
+                rcmp(
+                    dest=instruction.dest,
+                    base=instruction.srcs[0],
+                    offset=instruction.srcs[1],
+                    slice_id=rslice.slice_id,
+                    target=_entry_label(rslice.slice_id),
+                )
+            )
+        else:
+            rewritten.append(instruction)
+        for record in plan.after(old_pc):
+            rewritten.append(record)
+
+    main_length = len(rewritten.instructions)
+    for label, old_pc in original.labels.items():
+        rewritten.add_label(label, pc_map.get(old_pc, main_length))
+
+    infos: Dict[int, SliceInfo] = {}
+    for rslice in rslices:
+        infos[rslice.slice_id] = _embed_slice(
+            rewritten, rslice, rcmp_new_pcs[rslice.slice_id]
+        )
+
+    validate_program(rewritten)
+    return AmnesicBinary(program=rewritten, slices=infos)
+
+
+def _entry_label(slice_id: int) -> str:
+    return f"rslice_{slice_id}"
+
+
+class _CheckpointPlan:
+    """REC instructions grouped by original pc and placement side."""
+
+    def __init__(self, rslices: List[RSlice]):
+        self._before: Dict[int, List[Instruction]] = {}
+        self._after: Dict[int, List[Instruction]] = {}
+        for rslice in rslices:
+            node_ids = _node_ids(rslice.root)
+            for node in rslice.root.post_order():
+                hist_slots = _hist_inputs(node)
+                if not hist_slots:
+                    continue
+                leaf_id = node_ids[id(node)]
+                operands = tuple(Reg(li.reg_index) for li in hist_slots)
+                record = rec(rslice.slice_id, leaf_id, operands)
+                side = self._after if node.is_checkpoint_load else self._before
+                side.setdefault(node.pc, []).append(record)
+
+    def before(self, pc: int) -> List[Instruction]:
+        return self._before.get(pc, [])
+
+    def after(self, pc: int) -> List[Instruction]:
+        return self._after.get(pc, [])
+
+
+def _node_ids(root: TemplateNode) -> Dict[int, int]:
+    """Post-order index of every node, keyed by object identity."""
+    return {id(node): index for index, node in enumerate(root.post_order())}
+
+
+def _hist_inputs(node: TemplateNode):
+    """The node's checkpointed inputs, in slot order."""
+    return [
+        li
+        for li in sorted(node.leaf_inputs, key=lambda li: li.position)
+        if li.reg_index is not None and li.kind is LeafInputKind.HIST
+    ]
+
+
+def _embed_slice(program: Program, rslice: RSlice, rcmp_pc: int) -> SliceInfo:
+    """Append the lowered slice body; return its runtime metadata."""
+    entry_label = _entry_label(rslice.slice_id)
+    start = len(program.instructions)
+    program.add_label(entry_label, start)
+
+    node_ids = _node_ids(rslice.root)
+    hist_leaf_ids: List[int] = []
+    max_sreg = 0
+    for node in rslice.root.post_order():
+        node_id = node_ids[id(node)]
+        max_sreg = max(max_sreg, node_id)
+        hist_slots = _hist_inputs(node)
+        if hist_slots:
+            hist_leaf_ids.append(node_id)
+        program.append(_lower_node(node, node_id, node_ids, hist_slots, rslice))
+    root_id = node_ids[id(rslice.root)]
+    program.append(rtn(rslice.slice_id, SReg(root_id)))
+    end = len(program.instructions)
+
+    program.register_slice(
+        SliceRegion(
+            slice_id=rslice.slice_id,
+            entry_label=entry_label,
+            start=start,
+            end=end,
+            load_pc=rcmp_pc,
+        )
+    )
+    return SliceInfo(
+        rslice=rslice,
+        entry_label=entry_label,
+        hist_leaf_ids=tuple(hist_leaf_ids),
+        sreg_demand=max_sreg + 1,
+    )
+
+
+def _lower_node(
+    node: TemplateNode,
+    node_id: int,
+    node_ids: Dict[int, int],
+    hist_slots,
+    rslice: RSlice,
+) -> Instruction:
+    """Lower one template node to a recomputing instruction."""
+    if node.is_checkpoint_load:
+        return Instruction(
+            Opcode.MOV,
+            dest=SReg(node_id),
+            srcs=(HistRef(node_id, 0),),
+            leaf_id=node_id,
+            comment=f"checkpointed load @pc{node.pc}",
+        )
+    arity = len(node.leaf_inputs) + len(node.children)
+    operands: List[Optional[Operand]] = [None] * arity
+    slot_of = {id(li): slot for slot, li in enumerate(hist_slots)}
+    for leaf_input in node.leaf_inputs:
+        if leaf_input.reg_index is None:
+            operand: Operand = Imm(leaf_input.const_value)
+        elif leaf_input.kind is LeafInputKind.LIVE_REG:
+            operand = Reg(leaf_input.reg_index)
+        else:
+            operand = HistRef(node_id, slot_of[id(leaf_input)])
+        operands[leaf_input.position] = operand
+    for child, position in zip(node.children, node.child_positions):
+        operands[position] = SReg(node_ids[id(child)])
+    if any(op is None for op in operands):
+        raise CompilationError(
+            f"slice {rslice.slice_id}: node at pc {node.pc} has an "
+            f"unsupplied operand position"
+        )
+    return Instruction(
+        node.opcode,
+        dest=SReg(node_id),
+        srcs=tuple(operands),
+        leaf_id=node_id if hist_slots else None,
+    )

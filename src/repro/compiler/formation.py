@@ -1,0 +1,295 @@
+"""Slice formation: choosing how far each slice tree grows.
+
+The extractor (:mod:`repro.compiler.producers`) delivers the *full*
+producer tree up to the height/node caps.  Formation decides, per
+dataflow edge, whether to keep expanding (the operand is recomputed by a
+child subtree through the SFile) or to cut (the operand becomes a leaf
+input retrieved from the history table, a live register, or a
+constant).  Two modes are implemented:
+
+* ``greedy`` — the paper's algorithm (section 3.1.1): let the slice
+  "grow level by level, as long as the cumulative cost of recomputation
+  along RSlice(v) being constructed remains below E_ld".  Deeper levels
+  re-derive values from registers instead of consuming history-table
+  checkpoints, so slices grow as long as the probabilistic load cost
+  affords them.  This is the default and reproduces the paper's
+  Figure 6 slice-length distributions.
+* ``optimal`` — a bottom-up dynamic program picking the
+  minimum-estimated-``E_rc`` cut.  Because a history read (priced like
+  an L1-D access) is cheaper than re-executing more than a couple of
+  instructions, the optimum hugs very short slices; the difference
+  against ``greedy`` is quantified by the formation-mode ablation
+  benchmark.
+
+Both modes price leaf inputs with the liveness information collected by
+:func:`repro.compiler.leaves.collect_liveness`: an input that will be
+classified live costs neither a history read nor a REC.
+
+Checkpoint-load nodes collapse on expansion: replacing a load along the
+chain by its own producer slice splices the producer subtree directly,
+so "loads and stores cannot be present as intermediate nodes" holds by
+construction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+from .cost import CostContext
+from .leaves import OperandFacts
+from .rslice import LeafInput, TemplateNode
+
+FORMATION_GREEDY = "greedy"
+FORMATION_OPTIMAL = "optimal"
+
+#: Fraction of E_ld that greedy growth may consume, leaving headroom for
+#: the REC amortisation added at selection time.
+GREEDY_BUDGET_MARGIN = 0.8
+
+
+@dataclasses.dataclass
+class FormationResult:
+    """The chosen tree and its estimated traversal energy."""
+
+    tree: TemplateNode
+    estimated_energy_nj: float
+
+
+def form_slice_tree(
+    template: TemplateNode,
+    context: CostContext,
+    load_pc: int,
+    liveness: Optional[OperandFacts] = None,
+    mode: str = FORMATION_GREEDY,
+    budget_nj: Optional[float] = None,
+) -> FormationResult:
+    """Choose the cut of *template* for the load at *load_pc*.
+
+    ``budget_nj`` is the probabilistic ``E_ld`` that bounds greedy
+    growth; it defaults to the profiler's estimate for *load_pc*, scaled
+    back by a safety margin: a slice grown right up to ``E_ld`` would be
+    rejected by the selection step once the amortised REC checkpointing
+    overhead is added on top, so growth keeps headroom for it.
+    """
+    if budget_nj is None:
+        budget_nj = GREEDY_BUDGET_MARGIN * context.estimated_load_cost(
+            load_pc
+        ).energy_nj
+    former = _SliceFormer(context, load_pc, liveness or OperandFacts({}, {}))
+    if mode == FORMATION_OPTIMAL:
+        energy, tree = former.best(template)
+        return FormationResult(tree=tree, estimated_energy_nj=energy)
+    if mode == FORMATION_GREEDY:
+        return former.greedy(template, budget_nj)
+    raise ValueError(f"unknown formation mode {mode!r}")
+
+
+class _SliceFormer:
+    """Cut selection over one template tree."""
+
+    def __init__(self, context: CostContext, load_pc: int, facts: OperandFacts):
+        self.context = context
+        self.load_pc = load_pc
+        self.facts = facts
+        self._hist_read_nj = context.hist_read_cost().energy_nj
+        self._rec_nj = context.model.rec_cost().energy_nj
+        self._load_count = max(context.pc_execution_counts.get(load_pc, 1), 1)
+
+    # ------------------------------------------------------------------
+    # Shared pricing helpers.
+    # ------------------------------------------------------------------
+    def _is_live(self, pc: int, position: int) -> bool:
+        return self.facts.is_live(self.load_pc, pc, position)
+
+    def _can_expand(self, pc: int, position: int) -> bool:
+        return self.facts.can_expand(self.load_pc, pc, position)
+
+    def _leaf_input_nj(self, node: TemplateNode, position: int,
+                       is_register: bool) -> float:
+        """Cost of supplying one leaf input at recompute time."""
+        if not is_register:
+            return 0.0  # immediates are free
+        if not node.is_checkpoint_load and self._is_live(node.pc, position):
+            return 0.0  # read straight from the architectural register
+        return self._hist_read_nj
+
+    def _leaf_node_nj(self, node: TemplateNode, cut_edges) -> float:
+        """Total cost of *node* treated as a leaf.
+
+        ``cut_edges`` are (position, reg) pairs for child edges being
+        severed; their operands join the node's own register inputs.
+        """
+        energy = self.context.node_cost(node).energy_nj
+        needs_rec = False
+        for leaf_input in node.leaf_inputs:
+            is_register = leaf_input.reg_index is not None
+            cost = self._leaf_input_nj(node, leaf_input.position, is_register)
+            energy += cost
+            if cost > 0.0:
+                needs_rec = True
+        for position, _reg in cut_edges:
+            cost = self._leaf_input_nj(node, position, True)
+            energy += cost
+            if cost > 0.0:
+                needs_rec = True
+        if needs_rec:
+            energy += self._amortised_rec(node.pc)
+        return energy
+
+    def _amortised_rec(self, producer_pc: int) -> float:
+        producer_count = self.context.pc_execution_counts.get(producer_pc, 1)
+        return self._rec_nj * (producer_count / self._load_count)
+
+    def _materialise_leaf(self, node: TemplateNode, cut_edges) -> TemplateNode:
+        leaf = TemplateNode(
+            pc=node.pc,
+            opcode=node.opcode,
+            leaf_inputs=[dataclasses.replace(li) for li in node.leaf_inputs],
+            is_checkpoint_load=node.is_checkpoint_load,
+        )
+        for position, reg in cut_edges:
+            leaf.leaf_inputs.append(LeafInput.register(position, reg))
+        leaf.leaf_inputs.sort(key=lambda li: li.position)
+        return leaf
+
+    # ------------------------------------------------------------------
+    # Greedy level-by-level growth (the paper's algorithm).
+    # ------------------------------------------------------------------
+    def greedy(self, template: TemplateNode, budget_nj: float) -> FormationResult:
+        """Grow level by level while the cumulative cost stays in budget.
+
+        The one-level tree is always produced (the pass rejects it later
+        if even that exceeds ``E_ld``); each deeper level is adopted only
+        while its cumulative cost remains within budget, and growth
+        stops at the first level that exceeds it.
+        """
+        best_energy, best_tree = self._cut_at_depth(template, 0, 0)
+        for depth in range(1, template.height + 1):
+            energy, tree = self._cut_at_depth(template, depth, 0)
+            if energy > budget_nj:
+                break
+            best_tree, best_energy = tree, energy
+        return FormationResult(tree=best_tree, estimated_energy_nj=best_energy)
+
+    def _cut_at_depth(
+        self, node: TemplateNode, limit: int, depth: int
+    ) -> Tuple[float, TemplateNode]:
+        """Materialise the tree with expansion allowed below *limit* levels."""
+        if node.is_checkpoint_load:
+            # A checkpoint load expands by splicing its producer chain.
+            if node.children and depth < limit and self._can_expand(node.pc, 0):
+                return self._cut_at_depth(node.children[0], limit, depth)
+            cut_edges: list = []
+            return self._leaf_node_nj(node, cut_edges), self._materialise_leaf(
+                node, cut_edges
+            )
+        if not node.children or depth >= limit:
+            cut_edges = list(zip(node.child_positions, node.child_regs))
+            return self._leaf_node_nj(node, cut_edges), self._materialise_leaf(
+                node, cut_edges
+            )
+        energy = self.context.node_cost(node).energy_nj
+        materialised = TemplateNode(
+            pc=node.pc,
+            opcode=node.opcode,
+            leaf_inputs=[dataclasses.replace(li) for li in node.leaf_inputs],
+        )
+        needs_rec = False
+        for leaf_input in materialised.leaf_inputs:
+            is_register = leaf_input.reg_index is not None
+            cost = self._leaf_input_nj(node, leaf_input.position, is_register)
+            energy += cost
+            if cost > 0.0:
+                needs_rec = True
+        if needs_rec:
+            energy += self._amortised_rec(node.pc)
+        for child, position, reg in zip(
+            node.children, node.child_positions, node.child_regs
+        ):
+            # Growth stops at an edge that is (a) provably inconsistent
+            # to expand, or (b) already free: a live register supplies
+            # the operand without a checkpoint, so re-deriving it deeper
+            # could only add instructions and history traffic.
+            if not self._can_expand(node.pc, position) or self._is_live(
+                node.pc, position
+            ):
+                cost = self._leaf_input_nj(node, position, True)
+                energy += cost
+                if cost > 0.0:
+                    energy += self._amortised_rec(node.pc)
+                materialised.leaf_inputs.append(
+                    LeafInput.register(position, reg)
+                )
+                continue
+            child_energy, child_tree = self._cut_at_depth(child, limit, depth + 1)
+            energy += child_energy
+            materialised.children.append(child_tree)
+            materialised.child_positions.append(position)
+            materialised.child_regs.append(reg)
+        materialised.leaf_inputs.sort(key=lambda li: li.position)
+        return energy, materialised
+
+    # ------------------------------------------------------------------
+    # Optimal (minimum-E_rc) cut.
+    # ------------------------------------------------------------------
+    def best(self, node: TemplateNode) -> Tuple[float, TemplateNode]:
+        """Minimum estimated energy and the materialised subtree."""
+        if node.is_checkpoint_load:
+            return self._best_checkpoint_load(node)
+        return self._best_compute(node)
+
+    def _best_checkpoint_load(self, node: TemplateNode) -> Tuple[float, TemplateNode]:
+        keep_energy = self._leaf_node_nj(node, [])
+        keep_tree = self._materialise_leaf(node, [])
+        if not node.children or not self._can_expand(node.pc, 0):
+            return keep_energy, keep_tree
+        expand_energy, expanded = self.best(node.children[0])
+        if expand_energy < keep_energy:
+            return expand_energy, expanded
+        return keep_energy, keep_tree
+
+    def _best_compute(self, node: TemplateNode) -> Tuple[float, TemplateNode]:
+        energy = self.context.node_cost(node).energy_nj
+        materialised = TemplateNode(pc=node.pc, opcode=node.opcode)
+        materialised.leaf_inputs = [
+            dataclasses.replace(li) for li in node.leaf_inputs
+        ]
+        needs_rec = False
+        for leaf_input in materialised.leaf_inputs:
+            is_register = leaf_input.reg_index is not None
+            cost = self._leaf_input_nj(node, leaf_input.position, is_register)
+            energy += cost
+            if cost > 0.0:
+                needs_rec = True
+        for child, position, reg_index in zip(
+            node.children, node.child_positions, node.child_regs
+        ):
+            cut_energy = self._leaf_input_nj(node, position, True)
+            if not self._can_expand(node.pc, position):
+                energy += cut_energy
+                if cut_energy > 0.0:
+                    needs_rec = True
+                materialised.leaf_inputs.append(
+                    LeafInput.register(position, reg_index)
+                )
+                continue
+            expand_energy, expanded = self.best(child)
+            if expand_energy < cut_energy or (
+                expand_energy == cut_energy and cut_energy == 0.0
+            ):
+                energy += expand_energy
+                materialised.children.append(expanded)
+                materialised.child_positions.append(position)
+                materialised.child_regs.append(reg_index)
+            else:
+                energy += cut_energy
+                if cut_energy > 0.0:
+                    needs_rec = True
+                materialised.leaf_inputs.append(
+                    LeafInput.register(position, reg_index)
+                )
+        if needs_rec:
+            energy += self._amortised_rec(node.pc)
+        materialised.leaf_inputs.sort(key=lambda li: li.position)
+        return energy, materialised

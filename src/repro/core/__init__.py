@@ -1,0 +1,54 @@
+"""Amnesic execution runtime: microarchitecture, scheduler policies, API."""
+
+from .amnesic_cpu import AmnesicCPU
+from .execution import (
+    ExecutionOutcome,
+    PolicyComparison,
+    compare,
+    evaluate_policies,
+    run_amnesic,
+    run_classic,
+)
+from .hist import DEFAULT_HIST_CAPACITY, HistoryTable, HistStats
+from .ibuff import DEFAULT_IBUFF_CAPACITY, IBuffStats, InstructionBuffer
+from .policies import (
+    POLICY_NAMES,
+    CompilerPolicy,
+    Decision,
+    FLCPolicy,
+    LLCPolicy,
+    OracleDecisionPolicy,
+    Policy,
+    RcmpContext,
+    make_policy,
+)
+from .sfile import DEFAULT_SFILE_CAPACITY, Renamer, SFile, SFileStats
+
+__all__ = [
+    "AmnesicCPU",
+    "CompilerPolicy",
+    "DEFAULT_HIST_CAPACITY",
+    "DEFAULT_IBUFF_CAPACITY",
+    "DEFAULT_SFILE_CAPACITY",
+    "Decision",
+    "ExecutionOutcome",
+    "FLCPolicy",
+    "HistStats",
+    "HistoryTable",
+    "IBuffStats",
+    "InstructionBuffer",
+    "LLCPolicy",
+    "OracleDecisionPolicy",
+    "POLICY_NAMES",
+    "Policy",
+    "PolicyComparison",
+    "RcmpContext",
+    "Renamer",
+    "SFile",
+    "SFileStats",
+    "compare",
+    "evaluate_policies",
+    "make_policy",
+    "run_amnesic",
+    "run_classic",
+]

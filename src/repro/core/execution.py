@@ -1,0 +1,223 @@
+"""Top-level execution API: run classic, run amnesic, compare.
+
+This is the public surface most users want::
+
+    from repro import compare
+    result = compare(program, policy="FLC")
+    print(result.edp_gain_percent)
+
+:func:`evaluate_policies` reproduces one column group of the paper's
+Figures 3-5: it profiles once, builds the probabilistic binary (shared
+by Compiler/FLC/LLC/C-Oracle) and the all-valid binary (Oracle), runs
+the classic baseline, and measures every requested policy against it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, Optional
+
+from ..compiler.amnesic_pass import (
+    SELECTION_ALL_VALID,
+    SELECTION_PROBABILISTIC,
+    CompilationResult,
+    PassOptions,
+    compile_amnesic,
+)
+from ..compiler.formation import FORMATION_OPTIMAL
+from ..energy.account import EnergyAccount
+from ..energy.model import EnergyModel
+from ..energy.tech import paper_energy_model
+from ..isa.program import Program
+from ..machine.cpu import DEFAULT_MAX_INSTRUCTIONS, CPU
+from ..machine.stats import RunStats
+from .amnesic_cpu import AmnesicCPU
+from .policies import POLICY_NAMES, Policy, make_policy
+
+
+@dataclasses.dataclass
+class ExecutionOutcome:
+    """Result of one program execution (classic or amnesic)."""
+
+    label: str
+    stats: RunStats
+    account: EnergyAccount
+    cpu: CPU
+
+    @property
+    def energy_nj(self) -> float:
+        return self.account.total_energy_nj
+
+    @property
+    def time_ns(self) -> float:
+        return self.account.total_time_ns
+
+    @property
+    def edp(self) -> float:
+        return self.account.edp
+
+
+@dataclasses.dataclass
+class PolicyComparison:
+    """Amnesic-vs-classic outcome for one policy."""
+
+    policy: str
+    classic: ExecutionOutcome
+    amnesic: ExecutionOutcome
+    compilation: CompilationResult
+
+    @staticmethod
+    def _gain(baseline: float, value: float) -> float:
+        if baseline == 0:
+            return 0.0
+        return 100.0 * (baseline - value) / baseline
+
+    @property
+    def edp_gain_percent(self) -> float:
+        """Positive = amnesic wins (the paper's Figure 3 y-axis)."""
+        return self._gain(self.classic.edp, self.amnesic.edp)
+
+    @property
+    def energy_gain_percent(self) -> float:
+        """Figure 4 y-axis."""
+        return self._gain(self.classic.energy_nj, self.amnesic.energy_nj)
+
+    @property
+    def time_gain_percent(self) -> float:
+        """Figure 5 y-axis (% reduction in execution time)."""
+        return self._gain(self.classic.time_ns, self.amnesic.time_ns)
+
+
+def _oracle_options(options: PassOptions) -> PassOptions:
+    """The Oracle configuration's compile options.
+
+    The paper's Oracle runs on "a different (i.e., optimal) set of
+    RSlices baked in the binary" whose "decisions are based on actual
+    (not probabilistic or predicted) energy costs" (section 5.1).  Our
+    analog: keep every *valid* slice (no probabilistic profitability
+    filter) and cut each slice at its minimum-actual-cost point instead
+    of the budgeted greedy growth.  The Oracle-vs-C-Oracle gap then
+    measures exactly what the paper's does — how much the probabilistic
+    model's slice set leaves on the table.
+    """
+    return dataclasses.replace(
+        options, selection=SELECTION_ALL_VALID, formation=FORMATION_OPTIMAL
+    )
+
+
+def run_classic(
+    program: Program,
+    model: Optional[EnergyModel] = None,
+    max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+    tracer=None,
+) -> ExecutionOutcome:
+    """Execute *program* under classic semantics."""
+    model = model or paper_energy_model()
+    cpu = CPU(program, model, tracer=tracer, max_instructions=max_instructions)
+    stats = cpu.run()
+    return ExecutionOutcome(label="classic", stats=stats, account=cpu.account, cpu=cpu)
+
+
+def run_amnesic(
+    compilation: CompilationResult,
+    policy: str | Policy = "FLC",
+    model: Optional[EnergyModel] = None,
+    max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+    verify: bool = True,
+    tracer=None,
+    **cpu_kwargs,
+) -> ExecutionOutcome:
+    """Execute a compiled amnesic binary under *policy*."""
+    model = model or paper_energy_model()
+    if isinstance(policy, str):
+        policy = make_policy(policy)
+    cpu = AmnesicCPU(
+        compilation.binary,
+        model,
+        policy,
+        tracer=tracer,
+        max_instructions=max_instructions,
+        verify=verify,
+        **cpu_kwargs,
+    )
+    stats = cpu.run()
+    return ExecutionOutcome(
+        label=policy.name, stats=stats, account=cpu.account, cpu=cpu
+    )
+
+
+def compare(
+    program: Program,
+    policy: str = "FLC",
+    model: Optional[EnergyModel] = None,
+    options: PassOptions = PassOptions(),
+    max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+    verify: bool = True,
+) -> PolicyComparison:
+    """Compile *program* amnesically and compare against classic execution."""
+    model = model or paper_energy_model()
+    if policy == "Oracle":
+        options = _oracle_options(options)
+    compilation = compile_amnesic(program, model, options=options)
+    classic = run_classic(program, model, max_instructions=max_instructions)
+    amnesic = run_amnesic(
+        compilation,
+        policy,
+        model,
+        max_instructions=max_instructions,
+        verify=verify,
+    )
+    return PolicyComparison(
+        policy=policy, classic=classic, amnesic=amnesic, compilation=compilation
+    )
+
+
+def evaluate_policies(
+    program: Program,
+    policies: Iterable[str] = POLICY_NAMES,
+    model: Optional[EnergyModel] = None,
+    options: PassOptions = PassOptions(),
+    max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+    verify: bool = True,
+) -> Dict[str, PolicyComparison]:
+    """Measure every policy against the same classic baseline.
+
+    Profiling runs once; the probabilistic binary is shared by the
+    Compiler/FLC/LLC/C-Oracle configurations and the all-valid binary
+    serves Oracle — mirroring the paper's section 5.1 experimental
+    setup.
+    """
+    model = model or paper_energy_model()
+    classic = run_classic(program, model, max_instructions=max_instructions)
+
+    probabilistic = compile_amnesic(
+        program,
+        model,
+        options=dataclasses.replace(options, selection=SELECTION_PROBABILISTIC),
+    )
+    all_valid: Optional[CompilationResult] = None
+
+    results: Dict[str, PolicyComparison] = {}
+    for name in policies:
+        if name == "Oracle":
+            if all_valid is None:
+                all_valid = compile_amnesic(
+                    program,
+                    model,
+                    profile=probabilistic.profile,
+                    options=_oracle_options(options),
+                )
+            compilation = all_valid
+        else:
+            compilation = probabilistic
+        amnesic = run_amnesic(
+            compilation,
+            name,
+            model,
+            max_instructions=max_instructions,
+            verify=verify,
+        )
+        results[name] = PolicyComparison(
+            policy=name, classic=classic, amnesic=amnesic, compilation=compilation
+        )
+    return results

@@ -1,0 +1,121 @@
+"""The scratch file (SFile) and its renamer (paper section 3.2).
+
+During recomputation "the data flows through the SFile, leaving the
+(physical) registerfile intact" — this is Condition-I, no architectural
+state corruption.  Slice instructions name *virtual* scratch registers
+(:class:`~repro.isa.operands.SReg`); the :class:`Renamer` "maps register
+references per recomputing instruction to SFile entries", mimicking the
+rename logic of an out-of-order machine, and the :class:`SFile` is the
+physical backing store with the usual space (de)allocation rules.
+
+Only one RSlice is ever in flight (paper section 2.3), so the renamer's
+mapping is reset wholesale at slice exit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Union
+
+from ..errors import SchedulerError
+from ..isa.operands import SReg
+
+Value = Union[int, float]
+
+#: Default number of physical SFile entries.  Section 5.4 observes that
+#: "less than 50 entries for SFile or IBuff can cover most of the
+#: RSlices"; 64 gives headroom for the conservative worst case.
+DEFAULT_SFILE_CAPACITY = 64
+
+
+@dataclasses.dataclass
+class SFileStats:
+    """Occupancy and traffic counters for the scratch file."""
+
+    writes: int = 0
+    reads: int = 0
+    high_water: int = 0
+    rename_requests: int = 0
+
+
+class SFile:
+    """Physical scratch-register storage with an invalid bit per entry."""
+
+    def __init__(self, capacity: int = DEFAULT_SFILE_CAPACITY):
+        if capacity < 1:
+            raise ValueError("SFile capacity must be positive")
+        self.capacity = capacity
+        self.stats = SFileStats()
+        self._values: List[Optional[Value]] = [None] * capacity
+        self._free: List[int] = list(range(capacity - 1, -1, -1))
+
+    def allocate(self) -> int:
+        """Claim a free physical entry; raises when the file is full."""
+        if not self._free:
+            raise SchedulerError("SFile exhausted during recomputation")
+        entry = self._free.pop()
+        self.stats.high_water = max(
+            self.stats.high_water, self.capacity - len(self._free)
+        )
+        return entry
+
+    def write(self, entry: int, value: Value) -> None:
+        self._values[entry] = value
+        self.stats.writes += 1
+
+    def read(self, entry: int) -> Value:
+        value = self._values[entry]
+        if value is None:
+            raise SchedulerError(f"read of invalid SFile entry {entry}")
+        self.stats.reads += 1
+        return value
+
+    def release_all(self) -> None:
+        """Invalidate every entry (slice exit)."""
+        self._values = [None] * self.capacity
+        self._free = list(range(self.capacity - 1, -1, -1))
+
+    @property
+    def occupancy(self) -> int:
+        return self.capacity - len(self._free)
+
+
+class Renamer:
+    """Maps virtual slice registers to physical SFile entries."""
+
+    def __init__(self, sfile: SFile):
+        self.sfile = sfile
+        self._mapping: Dict[int, int] = {}
+
+    def begin_slice(self) -> None:
+        """Reset the mapping for a fresh traversal."""
+        self._mapping.clear()
+        self.sfile.release_all()
+
+    def write(self, sreg: SReg, value: Value) -> None:
+        """Rename *sreg*'s destination and write the result."""
+        self.sfile.stats.rename_requests += 1
+        entry = self._mapping.get(sreg.index)
+        if entry is None:
+            entry = self.sfile.allocate()
+            self._mapping[sreg.index] = entry
+        self.sfile.write(entry, value)
+
+    def read(self, sreg: SReg) -> Value:
+        """Resolve *sreg* through the mapping and read the SFile."""
+        self.sfile.stats.rename_requests += 1
+        entry = self._mapping.get(sreg.index)
+        if entry is None:
+            raise SchedulerError(
+                f"slice read of unwritten scratch register {sreg}"
+            )
+        return self.sfile.read(entry)
+
+    def end_slice(self) -> None:
+        """Release the traversal's entries (paper: SFile deallocation)."""
+        self._mapping.clear()
+        self.sfile.release_all()
+
+    @property
+    def live_mappings(self) -> int:
+        return len(self._mapping)

@@ -1,0 +1,113 @@
+"""The machine energy/timing model tying EPI tables to the hierarchy.
+
+:class:`EnergyModel` prices every event the simulator produces:
+
+* compute instructions — category EPI + one core cycle;
+* loads/stores — the hierarchy's per-level access energy and round-trip
+  latency (paper Table 3);
+* the amnesic extensions, following the paper's section 4 modelling:
+  "we model RCMP's overhead after a conditional branch; REC's, after a
+  store to L1-D; RTN's, after a jump", Hist after L1-D, SFile after the
+  physical register file, IBuff after L1-I.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..isa.opcodes import Category
+from ..machine.config import Level, MachineConfig
+from ..machine.hierarchy import Access
+from .account import Cost
+from .epi import LATENCY_CYCLES, EPITable
+
+#: Energy of one SFile (physical-register-file-class) access in nJ.  Two
+#: orders of magnitude below L1-D, consistent with register file vs SRAM
+#: macro energy at 22nm; folded into slice-instruction cost.
+SFILE_ACCESS_NJ = 0.01
+
+#: Energy of one IBuff access, modelled after L1-I (paper section 4).
+IBUFF_ACCESS_NJ = 0.88
+
+
+@dataclasses.dataclass(frozen=True)
+class EnergyModel:
+    """Prices simulator events in (nJ, ns)."""
+
+    epi: EPITable
+    config: MachineConfig
+
+    # ------------------------------------------------------------------
+    # Classic events.
+    # ------------------------------------------------------------------
+    def compute_cost(self, category: Category) -> Cost:
+        """Cost of one non-memory instruction: EPI + its cycle count.
+
+        Most categories take one core cycle; divides and square roots
+        take their classic multi-cycle latencies (see
+        :data:`repro.energy.epi.LATENCY_CYCLES`).
+        """
+        cycles = LATENCY_CYCLES.get(category, 1)
+        return Cost(self.epi.epi(category), cycles * self.config.cycle_ns)
+
+    def access_cost(self, access: Access) -> Cost:
+        """Cost of a performed load/store as priced by the hierarchy."""
+        return Cost(access.energy_nj, access.latency_ns)
+
+    def load_cost_at(self, level: Level) -> Cost:
+        """Cost of a load serviced at *level* (estimation, oracles)."""
+        return Cost(
+            self.config.load_energy_nj(level), self.config.load_latency_ns(level)
+        )
+
+    # ------------------------------------------------------------------
+    # Amnesic events (paper section 4 modelling choices).
+    # ------------------------------------------------------------------
+    def rcmp_cost(self) -> Cost:
+        """RCMP overhead, modelled after a conditional branch."""
+        return Cost(self.epi.epi(Category.BRANCH), self.config.cycle_ns)
+
+    def rec_cost(self) -> Cost:
+        """REC overhead, modelled after a store to L1-D."""
+        return Cost(
+            self.config.l1_params.write_energy_nj, self.config.l1_params.latency_ns
+        )
+
+    def rtn_cost(self) -> Cost:
+        """RTN overhead, modelled after a jump."""
+        return Cost(self.epi.epi(Category.JUMP), self.config.cycle_ns)
+
+    def hist_read_cost(self) -> Cost:
+        """One Hist read, conservatively modelled after L1-D."""
+        return Cost(
+            self.config.l1_params.read_energy_nj, self.config.l1_params.latency_ns
+        )
+
+    def slice_instruction_cost(self, category: Category) -> Cost:
+        """Cost of one recomputing instruction.
+
+        Latency per recomputing instruction "remains very similar to its
+        classic counterpart" (paper section 3.5): category EPI + cycle,
+        plus the SFile traffic of its operands.
+        """
+        base = self.compute_cost(category)
+        return Cost(base.energy_nj + SFILE_ACCESS_NJ, base.time_ns)
+
+    # ------------------------------------------------------------------
+    # Estimation helpers for the compiler's probabilistic model.
+    # ------------------------------------------------------------------
+    def estimated_slice_cost(self, category_counts) -> Cost:
+        """E_rc of a slice from its instruction mix (paper section 3.1.1)."""
+        total = Cost(0.0, 0.0)
+        for category, count in category_counts.items():
+            total = total + self.slice_instruction_cost(category).scaled(count)
+        return total
+
+    def probabilistic_load_cost(self, level_probabilities) -> Cost:
+        """E_ld as sum over levels of Pr(level) x per-level cost."""
+        energy = 0.0
+        time = 0.0
+        for level, probability in level_probabilities.items():
+            energy += probability * self.config.load_energy_nj(level)
+            time += probability * self.config.load_latency_ns(level)
+        return Cost(energy, time)

@@ -1,0 +1,22 @@
+"""Evaluation harness: experiment registry and cached suite runner."""
+
+from .experiments import (
+    EXPERIMENTS,
+    ExperimentReport,
+    run_all,
+    run_experiment,
+)
+from .report import DEFAULT_EXPERIMENTS, build_report, write_report
+from .runner import SHARED_RUNNER, SuiteRunner
+
+__all__ = [
+    "DEFAULT_EXPERIMENTS",
+    "EXPERIMENTS",
+    "build_report",
+    "write_report",
+    "ExperimentReport",
+    "SHARED_RUNNER",
+    "SuiteRunner",
+    "run_all",
+    "run_experiment",
+]

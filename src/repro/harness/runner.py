@@ -1,0 +1,65 @@
+"""Suite runner with memoisation.
+
+Reproducing every table and figure requires the same (benchmark, scale)
+runs over and over; :class:`SuiteRunner` executes each combination once
+and caches the per-policy comparisons.  The module-level
+:data:`SHARED_RUNNER` is what the benchmark harness uses, so one pytest
+session evaluates each benchmark exactly once no matter how many
+experiments consume it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence
+
+from ..core.execution import PolicyComparison, evaluate_policies
+from ..core.policies import POLICY_NAMES
+from ..energy.model import EnergyModel
+from ..energy.tech import paper_energy_model
+from ..workloads.base import SCALE_SMALL, WorkloadSpec
+from ..workloads.suite import RESPONSIVE, all_specs, get
+
+
+class SuiteRunner:
+    """Runs suite benchmarks under all policies, caching results."""
+
+    def __init__(
+        self,
+        model: Optional[EnergyModel] = None,
+        scale: float = SCALE_SMALL,
+        policies: Sequence[str] = POLICY_NAMES,
+    ):
+        self.model = model or paper_energy_model()
+        self.scale = scale
+        self.policies = tuple(policies)
+        self._cache: Dict[str, Dict[str, PolicyComparison]] = {}
+
+    def result(self, benchmark: str) -> Dict[str, PolicyComparison]:
+        """All-policy comparison for *benchmark* (cached)."""
+        if benchmark not in self._cache:
+            spec: WorkloadSpec = get(benchmark)
+            program = spec.instantiate(self.scale)
+            self._cache[benchmark] = evaluate_policies(
+                program, policies=self.policies, model=self.model
+            )
+        return self._cache[benchmark]
+
+    def results(self, benchmarks: Iterable[str]) -> Dict[str, Dict[str, PolicyComparison]]:
+        """Results for several benchmarks, preserving order."""
+        return {name: self.result(name) for name in benchmarks}
+
+    def responsive_results(self) -> Dict[str, Dict[str, PolicyComparison]]:
+        """The paper's 11 focus benchmarks, in figure order."""
+        return self.results(RESPONSIVE)
+
+    def full_suite_results(self) -> Dict[str, Dict[str, PolicyComparison]]:
+        """All 33 benchmarks."""
+        return self.results(spec.name for spec in all_specs())
+
+    def invalidate(self) -> None:
+        """Drop all cached runs."""
+        self._cache.clear()
+
+
+#: Shared runner for the benchmark harness (one evaluation per session).
+SHARED_RUNNER = SuiteRunner()

@@ -1,0 +1,208 @@
+"""Textual assembly: serialise programs to text and parse them back.
+
+The format is line-oriented.  Directives start with a dot::
+
+    .name kernel
+    .data 4096 rw 0 0 0 0
+    .data 8192 ro 1.5 2.5
+    .label loop_top 2
+    .slice 3 entry=rslice_3 start=40 end=44 load_pc=7
+
+Instruction lines mirror :meth:`Instruction.__str__`::
+
+    add r1, r2, #4
+    ld r3, r1, #0
+    beq r1, r2 -> loop_top
+    rcmp r3, r1, #0 -> rslice_3 [slice=3]
+    fmul s1, h0.0, s0 [leaf=0]
+
+Round-tripping (``parse(serialise(p))``) reproduces the program exactly;
+property tests rely on this.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+from ..errors import AssemblyError
+from .instructions import Instruction
+from .opcodes import ARITY, Opcode
+from .operands import parse_operand
+from .program import Program, SliceRegion
+
+_HAS_DEST = {
+    op: (op.is_compute or op in (Opcode.LD, Opcode.RCMP, Opcode.RTN, Opcode.JAL))
+    for op in Opcode
+}
+
+_ANNOTATION_RE = re.compile(r"\[([^\]]*)\]")
+_TARGET_RE = re.compile(r"->\s*(\S+)")
+
+
+def serialise(program: Program) -> str:
+    """Serialise *program* (instructions, labels, data, slices) to text."""
+    lines = [f".name {program.name}"]
+    for (lo, hi) in sorted(program.data.read_only):
+        values = " ".join(_format_number(program.data.cells[a]) for a in range(lo, hi))
+        lines.append(f".data {lo} ro {values}")
+    writable = sorted(
+        a for a in program.data.cells if not program.data.is_read_only(a)
+    )
+    for base, values in _contiguous_runs(writable, program.data):
+        rendered = " ".join(_format_number(v) for v in values)
+        lines.append(f".data {base} rw {rendered}")
+    for label in sorted(program.labels):
+        lines.append(f".label {label} {program.labels[label]}")
+    for region in sorted(program.slices.values(), key=lambda r: r.slice_id):
+        lines.append(
+            f".slice {region.slice_id} entry={region.entry_label} "
+            f"start={region.start} end={region.end} load_pc={region.load_pc}"
+        )
+    for instruction in program.instructions:
+        lines.append(_serialise_instruction(instruction))
+    return "\n".join(lines) + "\n"
+
+
+def parse(text: str) -> Program:
+    """Parse assembly *text* back into a program."""
+    program = Program()
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split(";", 1)[0].strip() if not raw.strip().startswith(".") else raw.strip()
+        if not line:
+            continue
+        try:
+            if line.startswith("."):
+                _parse_directive(program, line)
+            else:
+                program.append(_parse_instruction(line))
+        except (ValueError, AssemblyError) as exc:
+            raise AssemblyError(f"line {line_number}: {exc}") from None
+    return program
+
+
+# ----------------------------------------------------------------------
+# Serialisation helpers.
+# ----------------------------------------------------------------------
+def _format_number(value) -> str:
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def _contiguous_runs(addresses: List[int], data):
+    run_base: Optional[int] = None
+    run_values: List = []
+    previous = None
+    for address in addresses:
+        if run_base is None:
+            run_base, run_values = address, [data.cells[address]]
+        elif previous is not None and address == previous + 1:
+            run_values.append(data.cells[address])
+        else:
+            yield run_base, run_values
+            run_base, run_values = address, [data.cells[address]]
+        previous = address
+    if run_base is not None:
+        yield run_base, run_values
+
+
+def _serialise_instruction(instruction: Instruction) -> str:
+    parts = [instruction.opcode.value]
+    operands = []
+    if instruction.dest is not None:
+        operands.append(str(instruction.dest))
+    operands.extend(str(src) for src in instruction.srcs)
+    if operands:
+        parts.append(", ".join(operands))
+    if instruction.target is not None:
+        parts.append(f"-> {instruction.target}")
+    annotations = []
+    if instruction.slice_id is not None:
+        annotations.append(f"slice={instruction.slice_id}")
+    if instruction.leaf_id is not None:
+        annotations.append(f"leaf={instruction.leaf_id}")
+    if annotations:
+        parts.append("[" + ", ".join(annotations) + "]")
+    return " ".join(parts)
+
+
+# ----------------------------------------------------------------------
+# Parsing helpers.
+# ----------------------------------------------------------------------
+def _parse_directive(program: Program, line: str) -> None:
+    fields = line.split()
+    directive = fields[0]
+    if directive == ".name":
+        program.name = fields[1] if len(fields) > 1 else "program"
+    elif directive == ".data":
+        base = int(fields[1])
+        mode = fields[2]
+        values = [_parse_number(f) for f in fields[3:]]
+        program.data.place(base, values, read_only=(mode == "ro"))
+    elif directive == ".label":
+        program.add_label(fields[1], int(fields[2]))
+    elif directive == ".slice":
+        keyed = dict(field.split("=", 1) for field in fields[2:])
+        program.register_slice(
+            SliceRegion(
+                slice_id=int(fields[1]),
+                entry_label=keyed["entry"],
+                start=int(keyed["start"]),
+                end=int(keyed["end"]),
+                load_pc=int(keyed["load_pc"]),
+            )
+        )
+    else:
+        raise AssemblyError(f"unknown directive {directive}")
+
+
+def _parse_number(text: str):
+    try:
+        return int(text, 0)
+    except ValueError:
+        return float(text)
+
+
+def _parse_instruction(line: str) -> Instruction:
+    slice_id = leaf_id = None
+    annotation_match = _ANNOTATION_RE.search(line)
+    if annotation_match:
+        for item in annotation_match.group(1).split(","):
+            key, _, value = item.strip().partition("=")
+            if key == "slice":
+                slice_id = int(value)
+            elif key == "leaf":
+                leaf_id = int(value)
+            else:
+                raise AssemblyError(f"unknown annotation {key!r}")
+        line = line[: annotation_match.start()].strip()
+    target = None
+    target_match = _TARGET_RE.search(line)
+    if target_match:
+        target = target_match.group(1)
+        line = line[: target_match.start()].strip()
+    mnemonic, _, rest = line.partition(" ")
+    try:
+        opcode = Opcode(mnemonic.strip())
+    except ValueError:
+        raise AssemblyError(f"unknown opcode {mnemonic!r}") from None
+    operands = [parse_operand(tok) for tok in rest.split(",") if tok.strip()]
+    dest = None
+    if _HAS_DEST[opcode]:
+        if not operands:
+            raise AssemblyError(f"{opcode.value} requires a destination")
+        dest = operands.pop(0)
+    expected = ARITY.get(opcode)
+    if expected is not None and opcode is not Opcode.REC and len(operands) != expected:
+        raise AssemblyError(
+            f"{opcode.value} expects {expected} sources, got {len(operands)}"
+        )
+    return Instruction(
+        opcode,
+        dest=dest,
+        srcs=tuple(operands),
+        target=target,
+        slice_id=slice_id,
+        leaf_id=leaf_id,
+    )

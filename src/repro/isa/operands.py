@@ -1,0 +1,125 @@
+"""Operand model for the mini RISC ISA.
+
+Ordinary program instructions use :class:`Reg` and :class:`Imm` operands.
+Recomputing instructions embedded in a slice additionally use
+:class:`SReg` (a scratch-file register, paper section 3.2) and
+:class:`HistRef` (a non-recomputable leaf input read from the history
+table, paper sections 2.2 and 3.2).  Keeping the operand kind explicit in
+the IR mirrors the paper's annotation scheme, where "the compiler changes
+source register identifiers of leaf instructions reading their operands
+from Hist to an invalid number" (section 3.5).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Union
+
+#: Number of architectural registers.  ``r0`` is hardwired to zero.
+NUM_REGISTERS = 32
+
+
+@dataclasses.dataclass(frozen=True)
+class Reg:
+    """An architectural register reference ``r0 .. r31``."""
+
+    index: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.index < NUM_REGISTERS:
+            raise ValueError(f"register index out of range: {self.index}")
+
+    def __str__(self) -> str:
+        return f"r{self.index}"
+
+
+@dataclasses.dataclass(frozen=True)
+class Imm:
+    """An immediate (constant) operand."""
+
+    value: Union[int, float]
+
+    def __str__(self) -> str:
+        return f"#{self.value}"
+
+
+@dataclasses.dataclass(frozen=True)
+class SReg:
+    """A scratch-file register used only inside recomputation slices.
+
+    SReg indices are virtual: the amnesic Renamer maps them to physical
+    SFile entries at runtime, exactly like rename logic maps architectural
+    to physical registers in an out-of-order core (paper section 3.2).
+    """
+
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError(f"scratch register index must be >= 0: {self.index}")
+
+    def __str__(self) -> str:
+        return f"s{self.index}"
+
+
+@dataclasses.dataclass(frozen=True)
+class HistRef:
+    """A leaf input operand supplied by the history table at runtime.
+
+    ``leaf_id`` identifies the leaf instruction within its slice (the
+    paper's ``leaf-address``); ``slot`` selects which of the leaf's
+    checkpointed source operands to read.
+    """
+
+    leaf_id: int
+    slot: int
+
+    def __post_init__(self) -> None:
+        if self.leaf_id < 0 or self.slot < 0:
+            raise ValueError(f"invalid HistRef({self.leaf_id}, {self.slot})")
+
+    def __str__(self) -> str:
+        return f"h{self.leaf_id}.{self.slot}"
+
+
+Operand = Union[Reg, Imm, SReg, HistRef]
+
+#: Register index conventionally hardwired to integer zero.
+ZERO_REG = Reg(0)
+
+
+def is_constant(operand: Operand) -> bool:
+    """True if *operand* needs no storage to be available at recompute time."""
+    return isinstance(operand, Imm)
+
+
+def parse_operand(text: str) -> Operand:
+    """Parse the assembler spelling of an operand.
+
+    >>> parse_operand("r5")
+    Reg(index=5)
+    >>> parse_operand("#3.5")
+    Imm(value=3.5)
+    >>> parse_operand("s2")
+    SReg(index=2)
+    >>> parse_operand("h1.0")
+    HistRef(leaf_id=1, slot=0)
+    """
+    text = text.strip()
+    if not text:
+        raise ValueError("empty operand")
+    if text.startswith("#"):
+        body = text[1:]
+        try:
+            return Imm(int(body, 0))
+        except ValueError:
+            return Imm(float(body))
+    if text.startswith("r") and text[1:].isdigit():
+        return Reg(int(text[1:]))
+    if text.startswith("s") and text[1:].isdigit():
+        return SReg(int(text[1:]))
+    if text.startswith("h"):
+        leaf, _, slot = text[1:].partition(".")
+        if leaf.isdigit() and slot.isdigit():
+            return HistRef(int(leaf), int(slot))
+    raise ValueError(f"unparseable operand: {text!r}")

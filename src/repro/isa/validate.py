@@ -1,0 +1,115 @@
+"""Static validation of programs.
+
+``validate_program`` enforces the structural rules of the ISA and of
+amnesic binaries before they reach the simulator:
+
+* every branch/jump/RCMP target resolves to a label inside the program;
+* slice regions contain only recomputing (compute) instructions and end
+  with ``RTN`` — the paper's construction rule that "loads and stores
+  cannot be present as intermediate nodes in RSlice(v)" (section 3.1.1),
+  and more generally that the amnesic microarchitecture "excludes memory
+  or control flow instructions" (section 3.4);
+* scratch registers and Hist operands appear only inside slice regions;
+* every ``RCMP``/``REC`` references a registered slice.
+"""
+
+from __future__ import annotations
+
+from ..errors import ValidationError
+from .opcodes import Opcode
+from .operands import HistRef, SReg
+from .program import Program
+
+
+def validate_program(program: Program) -> None:
+    """Raise :class:`ValidationError` on the first structural violation."""
+    _validate_labels(program)
+    _validate_slices(program)
+    _validate_operand_scoping(program)
+    _validate_amnesic_references(program)
+
+
+def _validate_labels(program: Program) -> None:
+    size = len(program.instructions)
+    for label, pc in program.labels.items():
+        if not 0 <= pc <= size:
+            raise ValidationError(f"label {label} points outside program: {pc}")
+    for pc, instruction in enumerate(program.instructions):
+        if instruction.target is not None and instruction.target not in program.labels:
+            raise ValidationError(
+                f"pc {pc}: undefined target label {instruction.target!r}"
+            )
+
+
+def _validate_slices(program: Program) -> None:
+    for region in program.slices.values():
+        if not 0 <= region.start < region.end <= len(program.instructions):
+            raise ValidationError(
+                f"slice {region.slice_id} has invalid extent "
+                f"[{region.start}, {region.end})"
+            )
+        if program.pc_of(region.entry_label) != region.start:
+            raise ValidationError(
+                f"slice {region.slice_id} entry label does not match its start"
+            )
+        last = program.instructions[region.end - 1]
+        if last.opcode is not Opcode.RTN:
+            raise ValidationError(f"slice {region.slice_id} does not end with RTN")
+        for pc in range(region.start, region.end - 1):
+            instruction = program.instructions[pc]
+            if not instruction.opcode.is_compute:
+                raise ValidationError(
+                    f"slice {region.slice_id} contains non-compute instruction "
+                    f"at pc {pc}: {instruction}"
+                )
+            if not isinstance(instruction.dest, SReg):
+                raise ValidationError(
+                    f"slice {region.slice_id} instruction at pc {pc} must write "
+                    f"a scratch register"
+                )
+    # Regions must not overlap.
+    regions = sorted(program.slices.values(), key=lambda r: r.start)
+    for a, b in zip(regions, regions[1:]):
+        if a.end > b.start:
+            raise ValidationError(
+                f"slices {a.slice_id} and {b.slice_id} overlap"
+            )
+
+
+def _validate_operand_scoping(program: Program) -> None:
+    for pc, instruction in enumerate(program.instructions):
+        inside_slice = program.slice_containing(pc) is not None
+        uses_scratch = isinstance(instruction.dest, SReg) or any(
+            isinstance(src, (SReg, HistRef)) for src in instruction.srcs
+        )
+        if uses_scratch and not inside_slice:
+            raise ValidationError(
+                f"pc {pc}: scratch/Hist operands outside a slice region: {instruction}"
+            )
+        if instruction.leaf_id is not None and not inside_slice:
+            if instruction.opcode is not Opcode.REC:
+                raise ValidationError(
+                    f"pc {pc}: leaf annotation outside a slice region: {instruction}"
+                )
+
+
+def _validate_amnesic_references(program: Program) -> None:
+    for pc, instruction in enumerate(program.instructions):
+        if instruction.opcode in (Opcode.RCMP, Opcode.REC, Opcode.RTN):
+            if instruction.slice_id not in program.slices:
+                raise ValidationError(
+                    f"pc {pc}: {instruction.opcode.value} references unknown "
+                    f"slice {instruction.slice_id}"
+                )
+        if instruction.opcode is Opcode.RCMP:
+            region = program.slices[instruction.slice_id]
+            if program.pc_of(instruction.target) != region.start:
+                raise ValidationError(
+                    f"pc {pc}: RCMP target does not match slice "
+                    f"{instruction.slice_id} entry"
+                )
+            if region.load_pc != pc:
+                raise ValidationError(
+                    f"pc {pc}: slice {instruction.slice_id} is owned by "
+                    f"pc {region.load_pc}, not this RCMP"
+                )

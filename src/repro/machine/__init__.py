@@ -1,0 +1,36 @@
+"""Machine simulator substrate: memory, caches, hierarchy, classic CPU."""
+
+from .cache import Cache, CacheStats, EvictedLine
+from .config import (
+    LEVELS,
+    CacheGeometry,
+    Level,
+    LevelParams,
+    MachineConfig,
+    default_config,
+    paper_geometry,
+)
+from .cpu import DEFAULT_MAX_INSTRUCTIONS, CPU
+from .hierarchy import Access, HierarchyStats, MemoryHierarchy
+from .memory import Memory
+from .stats import RunStats
+
+__all__ = [
+    "Access",
+    "CPU",
+    "Cache",
+    "CacheGeometry",
+    "CacheStats",
+    "DEFAULT_MAX_INSTRUCTIONS",
+    "EvictedLine",
+    "HierarchyStats",
+    "LEVELS",
+    "Level",
+    "LevelParams",
+    "MachineConfig",
+    "Memory",
+    "MemoryHierarchy",
+    "RunStats",
+    "default_config",
+    "paper_geometry",
+]

@@ -1,0 +1,271 @@
+"""The classic in-order CPU interpreter.
+
+:class:`CPU` executes a program under *classic* execution semantics:
+every load walks the memory hierarchy, every instruction is priced by
+the energy model, and an optional tracer observes each retired
+instruction.  The amnesic machine (:mod:`repro.core.amnesic_cpu`)
+subclasses this interpreter and overrides only the handling of the three
+amnesic opcodes, so classic and amnesic execution share all value,
+memory, and pricing semantics — exactly the "equivalent to classic
+execution" baseline the paper defines (section 2).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Union
+
+from ..energy.account import (
+    GROUP_LOAD,
+    GROUP_NONMEM,
+    GROUP_STORE,
+    GROUP_WRITEBACK,
+    EnergyAccount,
+)
+
+if TYPE_CHECKING:  # avoid a circular import: energy.model depends on machine
+    from ..energy.model import EnergyModel
+from ..errors import ExecutionLimitExceeded, MachineFault
+from ..isa.instructions import Instruction
+from ..isa.opcodes import Category, Opcode
+from ..isa.operands import Imm, Operand, Reg
+from ..isa.program import Program
+from ..isa.semantics import branch_taken, evaluate
+from ..trace.events import InstructionEvent
+from .hierarchy import MemoryHierarchy
+from .memory import Memory
+from .stats import RunStats
+
+Value = Union[int, float]
+
+#: Default dynamic-instruction budget; exceeded means livelock.
+DEFAULT_MAX_INSTRUCTIONS = 5_000_000
+
+
+class CPU:
+    """In-order interpreter with energy/timing accounting."""
+
+    def __init__(
+        self,
+        program: Program,
+        model: "EnergyModel",
+        tracer=None,
+        max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+    ):
+        self.program = program
+        self.model = model
+        self.tracer = tracer
+        self.max_instructions = max_instructions
+        self.memory = Memory(program.data)
+        self.hierarchy = MemoryHierarchy(model.config)
+        self.registers: List[Value] = [0] * 32
+        self.account = EnergyAccount()
+        self.stats = RunStats()
+        self.pc = 0
+        self.halted = False
+        self._dynamic_index = 0
+        self._charged_writeback_nj = 0.0
+
+    # ------------------------------------------------------------------
+    # Operand plumbing.
+    # ------------------------------------------------------------------
+    def resolve(self, operand: Operand) -> Value:
+        """Resolve an operand to its current value."""
+        if isinstance(operand, Reg):
+            return 0 if operand.index == 0 else self.registers[operand.index]
+        if isinstance(operand, Imm):
+            return operand.value
+        raise MachineFault(
+            f"operand {operand} is not valid under classic execution", pc=self.pc
+        )
+
+    def write_register(self, reg: Reg, value: Value) -> None:
+        """Write an architectural register (writes to r0 are discarded)."""
+        if reg.index != 0:
+            self.registers[reg.index] = value
+
+    def effective_address(self, base: Operand, offset: Operand) -> int:
+        """Compute and validate an effective word address."""
+        base_value = self.resolve(base)
+        offset_value = self.resolve(offset)
+        address = base_value + offset_value
+        if isinstance(address, float):
+            if not address.is_integer():
+                raise MachineFault(
+                    f"non-integer effective address {address}", pc=self.pc
+                )
+            address = int(address)
+        return address
+
+    # ------------------------------------------------------------------
+    # Execution loop.
+    # ------------------------------------------------------------------
+    def run(self) -> RunStats:
+        """Execute until HALT; return the run statistics."""
+        while not self.halted:
+            if self._dynamic_index >= self.max_instructions:
+                raise ExecutionLimitExceeded(
+                    f"exceeded {self.max_instructions} dynamic instructions",
+                    pc=self.pc,
+                )
+            self.step()
+        self.finalize()
+        return self.stats
+
+    def step(self) -> None:
+        """Execute one instruction at the current pc."""
+        try:
+            instruction = self.program.instruction_at(self.pc)
+        except IndexError:
+            raise MachineFault("pc ran off the end of the program", pc=self.pc) from None
+        self.execute(instruction)
+
+    def finalize(self) -> None:
+        """Charge deferred costs (dirty write-backs) once, idempotently."""
+        pending = self.hierarchy.stats.writeback_energy_nj - self._charged_writeback_nj
+        if pending > 0:
+            self.account.charge_energy_only(GROUP_WRITEBACK, pending)
+            self._charged_writeback_nj += pending
+
+    # ------------------------------------------------------------------
+    # Dispatch.
+    # ------------------------------------------------------------------
+    def execute(self, instruction: Instruction) -> None:
+        """Execute *instruction*, advance pc, account, and trace."""
+        opcode = instruction.opcode
+        category = opcode.category
+        self.stats.count_instruction(category)
+
+        if category.is_compute:
+            self._execute_compute(instruction)
+        elif opcode is Opcode.LD:
+            self._execute_load(instruction)
+        elif opcode is Opcode.ST:
+            self._execute_store(instruction)
+        elif category is Category.BRANCH:
+            self._execute_branch(instruction)
+        elif opcode is Opcode.JMP:
+            self._emit(instruction)
+            self.account.charge(GROUP_NONMEM, self.model.compute_cost(Category.JUMP))
+            self.pc = self.program.pc_of(instruction.target)
+        elif opcode is Opcode.JAL:
+            # Call: store the return pc in the link register, then jump.
+            return_pc = self.pc + 1
+            self.write_register(instruction.dest, return_pc)
+            self._emit(instruction, result=return_pc)
+            self.account.charge(GROUP_NONMEM, self.model.compute_cost(Category.JUMP))
+            self.pc = self.program.pc_of(instruction.target)
+        elif opcode is Opcode.JR:
+            target = self.resolve(instruction.srcs[0])
+            if not isinstance(target, int) or not 0 <= target <= len(
+                self.program.instructions
+            ):
+                raise MachineFault(
+                    f"jump-register to invalid pc {target!r}", pc=self.pc
+                )
+            self._emit(instruction, operand_values=(target,))
+            self.account.charge(GROUP_NONMEM, self.model.compute_cost(Category.JUMP))
+            self.pc = target
+        elif opcode is Opcode.NOP:
+            self._emit(instruction)
+            self.account.charge(GROUP_NONMEM, self.model.compute_cost(Category.NOP))
+            self.pc += 1
+        elif opcode is Opcode.HALT:
+            self._emit(instruction)
+            self.halted = True
+        elif category is Category.AMNESIC:
+            self._execute_amnesic(instruction)
+        else:  # pragma: no cover - the dispatch above is exhaustive
+            raise MachineFault(f"undecodable instruction {instruction}", pc=self.pc)
+
+    def _execute_compute(self, instruction: Instruction) -> None:
+        values = tuple(self.resolve(src) for src in instruction.srcs)
+        try:
+            result = evaluate(instruction.opcode, values)
+        except MachineFault as fault:
+            raise type(fault)(str(fault), pc=self.pc) from None
+        if not isinstance(instruction.dest, Reg):
+            raise MachineFault(
+                f"compute instruction without register destination: {instruction}",
+                pc=self.pc,
+            )
+        self.write_register(instruction.dest, result)
+        self.account.charge(GROUP_NONMEM, self.model.compute_cost(instruction.category))
+        self._emit(instruction, operand_values=values, result=result)
+        self.pc += 1
+
+    def _execute_load(self, instruction: Instruction) -> None:
+        address = self.effective_address(instruction.srcs[0], instruction.srcs[1])
+        value = self.memory.read(address)
+        access = self.hierarchy.load(address)
+        self.account.charge(GROUP_LOAD, self.model.access_cost(access))
+        self.stats.loads_performed += 1
+        self.write_register(instruction.dest, value)
+        self._emit(
+            instruction, result=value, address=address, level=access.level
+        )
+        self.pc += 1
+
+    def _execute_store(self, instruction: Instruction) -> None:
+        value = self.resolve(instruction.srcs[0])
+        address = self.effective_address(instruction.srcs[1], instruction.srcs[2])
+        self.memory.write(address, value)
+        access = self.hierarchy.store(address)
+        self.account.charge(GROUP_STORE, self.model.access_cost(access))
+        self.stats.stores_performed += 1
+        self._emit(
+            instruction, operand_values=(value,), address=address, level=access.level
+        )
+        self.pc += 1
+
+    def _execute_branch(self, instruction: Instruction) -> None:
+        a = self.resolve(instruction.srcs[0])
+        b = self.resolve(instruction.srcs[1])
+        taken = branch_taken(instruction.opcode, a, b)
+        self.account.charge(GROUP_NONMEM, self.model.compute_cost(Category.BRANCH))
+        self._emit(instruction, operand_values=(a, b), taken=taken)
+        if taken:
+            self.stats.branches_taken += 1
+            self.pc = self.program.pc_of(instruction.target)
+        else:
+            self.pc += 1
+
+    def _execute_amnesic(self, instruction: Instruction) -> None:
+        """Classic execution does not understand amnesic opcodes."""
+        raise MachineFault(
+            f"amnesic instruction {instruction.opcode.value} on a classic CPU",
+            pc=self.pc,
+        )
+
+    # ------------------------------------------------------------------
+    # Tracing.
+    # ------------------------------------------------------------------
+    def _emit(
+        self,
+        instruction: Instruction,
+        operand_values=(),
+        result=None,
+        address=None,
+        level=None,
+        taken=None,
+    ) -> None:
+        index = self._dynamic_index
+        self._dynamic_index += 1
+        if self.tracer is None:
+            return
+        self.tracer.on_instruction(
+            InstructionEvent(
+                index=index,
+                pc=self.pc,
+                instruction=instruction,
+                operand_values=operand_values,
+                result=result,
+                address=address,
+                level=level,
+                taken=taken,
+            )
+        )
+
+    @property
+    def dynamic_count(self) -> int:
+        """Number of retired dynamic instructions."""
+        return self._dynamic_index

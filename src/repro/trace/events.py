@@ -1,0 +1,69 @@
+"""Dynamic trace event records emitted by the CPU interpreters.
+
+A tracer is any object with an ``on_instruction(event)`` method; the CPU
+invokes it after retiring each dynamic instruction.  Events carry enough
+information (operand values, results, effective addresses, service
+levels) for the profiler and the dependence tracker to reconstruct the
+full dynamic dataflow without re-executing the program.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple, Union
+
+from typing import TYPE_CHECKING
+
+from ..isa.instructions import Instruction
+
+if TYPE_CHECKING:  # avoid a circular import: machine.cpu emits these events
+    from ..machine.config import Level
+
+Value = Union[int, float]
+
+
+@dataclasses.dataclass(frozen=True)
+class InstructionEvent:
+    """One retired dynamic instruction."""
+
+    index: int  # dynamic instruction number, 0-based
+    pc: int
+    instruction: Instruction
+    operand_values: Tuple[Value, ...] = ()
+    result: Optional[Value] = None
+    address: Optional[int] = None  # effective address (LD/ST/RCMP)
+    level: Optional["Level"] = None  # servicing level (performed LD/ST)
+    taken: Optional[bool] = None  # branch outcome
+
+    @property
+    def opcode(self):
+        return self.instruction.opcode
+
+    def __str__(self) -> str:
+        extras = []
+        if self.address is not None:
+            extras.append(f"@{self.address:#x}")
+        if self.level is not None:
+            extras.append(self.level.value)
+        if self.result is not None:
+            extras.append(f"= {self.result!r}")
+        suffix = " ".join(extras)
+        return f"[{self.index}] pc={self.pc} {self.instruction} {suffix}".rstrip()
+
+
+class NullTracer:
+    """A tracer that ignores everything (the default)."""
+
+    def on_instruction(self, event: InstructionEvent) -> None:
+        """Discard the event."""
+
+
+class MultiTracer:
+    """Fans one event stream out to several tracers."""
+
+    def __init__(self, *tracers) -> None:
+        self.tracers = list(tracers)
+
+    def on_instruction(self, event: InstructionEvent) -> None:
+        for tracer in self.tracers:
+            tracer.on_instruction(event)

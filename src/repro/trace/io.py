@@ -1,0 +1,63 @@
+"""Trace persistence: dump and reload dependence traces as JSONL.
+
+A profiled run's dependence graph can be saved for offline analysis or
+regression fixtures and reloaded into a fully functional
+:class:`~repro.trace.dependence.DependenceTracker` — the compiler can
+then run against the stored trace without re-executing the program.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Union
+
+from ..isa.opcodes import Opcode
+from .dependence import DependenceTracker, DynRecord
+
+
+def dump_trace(tracker: DependenceTracker, path: Union[str, pathlib.Path]) -> pathlib.Path:
+    """Write one JSON object per dynamic record to *path*."""
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w") as handle:
+        for record in tracker.records:
+            handle.write(json.dumps(_encode(record)) + "\n")
+    return target
+
+
+def load_trace(path: Union[str, pathlib.Path]) -> DependenceTracker:
+    """Reload a JSONL trace into a tracker (records only, no rescan)."""
+    tracker = DependenceTracker()
+    with pathlib.Path(path).open() as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                tracker.records.append(_decode(json.loads(line)))
+    return tracker
+
+
+def _encode(record: DynRecord) -> dict:
+    return {
+        "i": record.index,
+        "pc": record.pc,
+        "op": record.opcode.value,
+        "srcs": [list(descriptor) for descriptor in record.srcs],
+        "dest": record.dest_reg,
+        "res": record.result,
+        "addr": record.address,
+        "memp": record.mem_producer,
+    }
+
+
+def _decode(payload: dict) -> DynRecord:
+    return DynRecord(
+        index=payload["i"],
+        pc=payload["pc"],
+        opcode=Opcode(payload["op"]),
+        srcs=tuple(tuple(descriptor) for descriptor in payload["srcs"]),
+        dest_reg=payload["dest"],
+        result=payload["res"],
+        address=payload["addr"],
+        mem_producer=payload["memp"],
+    )

@@ -1,0 +1,29 @@
+"""The reproduced benchmark suite (paper Table 2) and its pattern library."""
+
+from .base import (
+    SCALE_LARGE,
+    SCALE_SMALL,
+    SCALE_TINY,
+    CalibrationTargets,
+    WorkloadRegistry,
+    WorkloadSpec,
+)
+from .kernels.composite import KernelParams, RegionSpec, build_composite
+from .suite import REGISTRY, RESPONSIVE, all_specs, get, responsive_specs
+
+__all__ = [
+    "CalibrationTargets",
+    "KernelParams",
+    "REGISTRY",
+    "RESPONSIVE",
+    "RegionSpec",
+    "SCALE_LARGE",
+    "SCALE_SMALL",
+    "SCALE_TINY",
+    "WorkloadRegistry",
+    "WorkloadSpec",
+    "all_specs",
+    "build_composite",
+    "get",
+    "responsive_specs",
+]

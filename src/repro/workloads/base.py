@@ -1,0 +1,97 @@
+"""Workload abstractions: specs, scales, and the suite registry protocol.
+
+Each paper benchmark is reproduced as a synthetic kernel whose four
+evaluation-driving observables are calibrated against the paper's
+characterisation:
+
+1. the service-level profile of swapped loads (Table 5),
+2. the RSlice length distribution (Figure 6),
+3. the share of slices with non-recomputable leaf inputs (Figure 7),
+4. the value locality of swapped loads (Figure 8).
+
+A :class:`WorkloadSpec` bundles the builder with that calibration
+metadata so tests can assert the kernels land where they claim to.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Optional, Tuple
+
+from ..isa.program import Program
+
+#: Named scale presets: fraction of the harness-sized dynamic work.
+SCALE_TINY = 0.25  # unit/integration tests
+SCALE_SMALL = 1.0  # the evaluation harness default
+SCALE_LARGE = 3.0  # longer, lower-variance runs
+
+
+@dataclasses.dataclass(frozen=True)
+class CalibrationTargets:
+    """Paper-reported observables this kernel is calibrated towards.
+
+    ``swapped_levels`` is the (L1, L2, MEM) percentage split of Table 5
+    (Compiler policy); ``max_slice_length`` bounds Figure 6's x-axis;
+    ``nonrecomputable_majority`` is Figure 7's "w/ nc" majority flag;
+    ``high_value_locality`` flags the Figure 8 outliers (bfs, sr).
+    """
+
+    swapped_levels: Tuple[float, float, float]
+    max_slice_length: int
+    nonrecomputable_majority: bool
+    high_value_locality: bool
+    edp_gain_compiler_percent: Optional[float] = None
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadSpec:
+    """One benchmark of the reproduced suite."""
+
+    name: str
+    suite: str  # SPEC / NAS / PARSEC / Rodinia
+    description: str
+    build: Callable[[float], Program]
+    responsive: bool = False  # in the paper's 11-benchmark focus set
+    calibration: Optional[CalibrationTargets] = None
+
+    def instantiate(self, scale: float = SCALE_SMALL) -> Program:
+        """Build the kernel at *scale* (1.0 = harness size)."""
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        return self.build(scale)
+
+
+class WorkloadRegistry:
+    """Name -> spec registry with suite filtering."""
+
+    def __init__(self) -> None:
+        self._specs: Dict[str, WorkloadSpec] = {}
+
+    def register(self, spec: WorkloadSpec) -> WorkloadSpec:
+        if spec.name in self._specs:
+            raise ValueError(f"duplicate workload {spec.name!r}")
+        self._specs[spec.name] = spec
+        return spec
+
+    def get(self, name: str) -> WorkloadSpec:
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown workload {name!r}; known: {sorted(self._specs)}"
+            ) from None
+
+    def names(self, suite: Optional[str] = None, responsive_only: bool = False):
+        """All registered names, optionally filtered."""
+        return [
+            name
+            for name, spec in sorted(self._specs.items())
+            if (suite is None or spec.suite == suite)
+            and (not responsive_only or spec.responsive)
+        ]
+
+    def __iter__(self):
+        return iter(sorted(self._specs.values(), key=lambda spec: spec.name))
+
+    def __len__(self) -> int:
+        return len(self._specs)

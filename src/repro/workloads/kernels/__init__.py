@@ -1,0 +1,40 @@
+"""Kernel pattern emitters, the composite builder, and organic algorithms."""
+
+from .algorithms import ALGORITHMS
+
+from .composite import KernelParams, RegionSpec, build_composite
+from .patterns import (
+    PatternRegs,
+    Region,
+    allocate_chase_input,
+    allocate_input,
+    allocate_region,
+    emit_compute_block,
+    emit_pointer_chase,
+    emit_region_fill,
+    emit_scatter_reads,
+    emit_seed_from_memory,
+    emit_spill_reload,
+    emit_stream_reads,
+    emit_value_chain,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "KernelParams",
+    "PatternRegs",
+    "Region",
+    "RegionSpec",
+    "allocate_chase_input",
+    "allocate_input",
+    "allocate_region",
+    "build_composite",
+    "emit_compute_block",
+    "emit_pointer_chase",
+    "emit_region_fill",
+    "emit_scatter_reads",
+    "emit_seed_from_memory",
+    "emit_spill_reload",
+    "emit_stream_reads",
+    "emit_value_chain",
+]

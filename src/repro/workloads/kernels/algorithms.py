@@ -1,0 +1,232 @@
+"""Organic algorithm kernels: real programs, not calibration fixtures.
+
+The suite's composite kernels are shaped to reproduce the paper's
+per-benchmark characterisation; these kernels exist for the opposite
+reason — they are straightforward implementations of familiar
+algorithms, written naturally in the ISA, whose *functional outputs*
+can be checked against Python references.  They exercise the simulator
+and the amnesic compiler on code that was not designed around the
+recomputation patterns: whatever the compiler finds here, it found on
+its own.
+
+Each builder returns ``(program, result_base, expected)`` where
+``expected`` is the list of values the finished program must leave at
+``result_base``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ...isa.builder import ProgramBuilder
+from ...isa.opcodes import Opcode
+from ...isa.program import Program
+
+Build = Tuple[Program, int, List[float]]
+
+
+def matmul(n: int = 6) -> Build:
+    """Dense n x n matrix multiply: C = A @ B, row-major."""
+    a = [[(i * n + j) % 7 + 1 for j in range(n)] for i in range(n)]
+    b = [[(i * 3 + j * 5) % 11 + 1 for j in range(n)] for i in range(n)]
+    expected = [
+        float(sum(a[i][k] * b[k][j] for k in range(n)))
+        for i in range(n)
+        for j in range(n)
+    ]
+
+    builder = ProgramBuilder("matmul")
+    base_a = builder.data([float(v) for row in a for v in row], read_only=True)
+    base_b = builder.data([float(v) for row in b for v in row], read_only=True)
+    base_c = builder.reserve(n * n)
+    ra, rb, rc, acc, addr, va, vb = builder.regs(
+        "a", "b", "c", "acc", "addr", "va", "vb"
+    )
+    builder.li(ra, base_a)
+    builder.li(rb, base_b)
+    builder.li(rc, base_c)
+    with builder.loop("i", 0, n) as i:
+        with builder.loop("j", 0, n) as j:
+            builder.op(Opcode.CVTIF, acc, builder.zero)
+            with builder.loop("k", 0, n) as k:
+                builder.mul(addr, i, n)
+                builder.add(addr, addr, k)
+                builder.add(addr, addr, ra)
+                builder.ld(va, addr)
+                builder.mul(addr, k, n)
+                builder.add(addr, addr, j)
+                builder.add(addr, addr, rb)
+                builder.ld(vb, addr)
+                builder.op(Opcode.FMA, acc, va, vb, acc)
+            builder.mul(addr, i, n)
+            builder.add(addr, addr, j)
+            builder.add(addr, addr, rc)
+            builder.st(acc, addr)
+    return builder.build(), base_c, expected
+
+
+def prefix_sum(n: int = 64) -> Build:
+    """Inclusive prefix sum of an integer array."""
+    values = [(i * 37 + 11) % 101 for i in range(n)]
+    expected_values: List[float] = []
+    running = 0
+    for value in values:
+        running += value
+        expected_values.append(running)
+
+    builder = ProgramBuilder("prefix_sum")
+    base_in = builder.data(values, read_only=True)
+    base_out = builder.reserve(n)
+    r_in, r_out, acc, addr, v = builder.regs("in", "out", "acc", "addr", "v")
+    builder.li(r_in, base_in)
+    builder.li(r_out, base_out)
+    builder.li(acc, 0)
+    with builder.loop("i", 0, n) as i:
+        builder.add(addr, r_in, i)
+        builder.ld(v, addr)
+        builder.add(acc, acc, v)
+        builder.add(addr, r_out, i)
+        builder.st(acc, addr)
+    return builder.build(), base_out, [float(v) for v in expected_values]
+
+
+def fibonacci_table(n: int = 32) -> Build:
+    """Fibonacci via a memo table: fib[i] = fib[i-1] + fib[i-2].
+
+    Each entry is stored, then *reloaded* to compute the next — the
+    organic spill/reload pattern the amnesic compiler looks for.
+    """
+    expected = [0, 1]
+    for _ in range(2, n):
+        expected.append(expected[-1] + expected[-2])
+
+    builder = ProgramBuilder("fibonacci")
+    table = builder.reserve(n)
+    r_table, addr, x, y = builder.regs("table", "addr", "x", "y")
+    builder.li(r_table, table)
+    builder.st(0, r_table, offset=0)
+    builder.st(1, r_table, offset=1)
+    with builder.loop("i", 2, n) as i:
+        builder.add(addr, r_table, i)
+        builder.ld(x, addr, offset=-1)
+        builder.ld(y, addr, offset=-2)
+        builder.add(x, x, y)
+        builder.st(x, addr)
+    return builder.build(), table, [float(v) for v in expected]
+
+
+def histogram(buckets: int = 16, samples: int = 128) -> Build:
+    """Bucketed histogram of a pseudo-random key stream."""
+    keys = [(i * 1103515245 + 12345) % (2 ** 31) for i in range(samples)]
+    expected = [0] * buckets
+    for key in keys:
+        expected[key % buckets] += 1
+
+    builder = ProgramBuilder("histogram")
+    base_keys = builder.data(keys, read_only=True)
+    base_counts = builder.reserve(buckets)
+    r_keys, r_counts, key, addr, count = builder.regs(
+        "keys", "counts", "key", "addr", "count"
+    )
+    builder.li(r_keys, base_keys)
+    builder.li(r_counts, base_counts)
+    with builder.loop("i", 0, samples) as i:
+        builder.add(addr, r_keys, i)
+        builder.ld(key, addr)
+        builder.op(Opcode.REM, key, key, buckets)
+        builder.add(addr, r_counts, key)
+        builder.ld(count, addr)
+        builder.add(count, count, 1)
+        builder.st(count, addr)
+    return builder.build(), base_counts, [float(v) for v in expected]
+
+
+def polynomial_eval(degree: int = 8, points: int = 24) -> Build:
+    """Horner evaluation of one polynomial at many points."""
+    coefficients = [((i * 7) % 5) - 2 for i in range(degree + 1)]
+    xs = [0.5 + 0.25 * i for i in range(points)]
+
+    def horner(x: float) -> float:
+        acc = 0.0
+        for coefficient in coefficients:
+            acc = acc * x + coefficient
+        return acc
+
+    expected = [horner(x) for x in xs]
+
+    builder = ProgramBuilder("polynomial")
+    base_coeff = builder.data([float(c) for c in coefficients], read_only=True)
+    base_x = builder.data(xs, read_only=True)
+    base_out = builder.reserve(points)
+    r_coeff, r_x, r_out, acc, x, c, addr = builder.regs(
+        "coeff", "x", "out", "acc", "xv", "cv", "addr"
+    )
+    builder.li(r_coeff, base_coeff)
+    builder.li(r_x, base_x)
+    builder.li(r_out, base_out)
+    with builder.loop("p", 0, points) as p:
+        builder.add(addr, r_x, p)
+        builder.ld(x, addr)
+        builder.op(Opcode.CVTIF, acc, builder.zero)
+        with builder.loop("d", 0, degree + 1) as d:
+            builder.add(addr, r_coeff, d)
+            builder.ld(c, addr)
+            builder.op(Opcode.FMA, acc, acc, x, c)
+        builder.add(addr, r_out, p)
+        builder.st(acc, addr)
+    return builder.build(), base_out, expected
+
+
+def normalize(n: int = 48) -> Build:
+    """Two-pass normalisation: scale = n / sum(x); out[i] = x[i] * scale.
+
+    The scale factor is computed once, spilled to a memory cell (a
+    loop-invariant global), and reloaded on every iteration of the
+    second pass — the classic organic recomputation opportunity: the
+    reload's producer chain is short, stable, and replayable.
+    """
+    values = [((i * 13) % 17) + 1 for i in range(n)]
+    total = sum(values)
+    scale = float(n) / float(total)
+    expected = [value * scale for value in values]
+
+    builder = ProgramBuilder("normalize")
+    base_in = builder.data([float(v) for v in values], read_only=True)
+    base_out = builder.reserve(n)
+    scale_cell = builder.reserve(1)
+    r_in, r_out, r_scale, acc, v, addr, s_val = builder.regs(
+        "in", "out", "scale", "acc", "v", "addr", "sval"
+    )
+    builder.li(r_in, base_in)
+    builder.li(r_out, base_out)
+    builder.li(r_scale, scale_cell)
+    # Pass 1: total, then the spilled scale factor.
+    builder.op(Opcode.CVTIF, acc, builder.zero)
+    with builder.loop("i", 0, n) as i:
+        builder.add(addr, r_in, i)
+        builder.ld(v, addr)
+        builder.fadd(acc, acc, v)
+    builder.op(Opcode.CVTIF, v, builder.zero)
+    builder.op(Opcode.FADD, v, v, float(n))
+    builder.op(Opcode.FDIV, acc, v, acc)
+    builder.st(acc, r_scale)
+    # Pass 2: reload the scale every iteration (swappable).
+    with builder.loop("j", 0, n) as j:
+        builder.ld(s_val, r_scale)
+        builder.add(addr, r_in, j)
+        builder.ld(v, addr)
+        builder.fmul(v, v, s_val)
+        builder.add(addr, r_out, j)
+        builder.st(v, addr)
+    return builder.build(), base_out, expected
+
+
+#: All algorithm builders, for parametrised testing.
+ALGORITHMS = {
+    "matmul": matmul,
+    "prefix_sum": prefix_sum,
+    "fibonacci": fibonacci_table,
+    "histogram": histogram,
+    "polynomial": polynomial_eval,
+    "normalize": normalize,
+}

@@ -1,0 +1,238 @@
+"""The parameterised composite kernel behind the benchmark suite.
+
+A composite kernel runs a configurable number of *phases*, each of which
+executes a calibrated mix of the pattern components from
+:mod:`repro.workloads.kernels.patterns`:
+
+* one or more **phase-constant regions** (:class:`RegionSpec`), whose
+  scattered reads are the swappable loads.  A region's size against the
+  scaled cache hierarchy (L1 = 128 words, L2 = 1024 words) pins where
+  its reads are serviced, so the *mix* of region specs composes the
+  paper's Table 5 service-level profile; per-region chain length and
+  seeding compose Figures 6 and 7;
+* a **spill-reload** block (swappable lockstep reloads, per-iteration
+  values, low locality);
+* **unswappable background**: streaming reads over read-only input,
+  pointer chasing, and pure compute, which set the baseline energy mix.
+
+Every paper benchmark is an instance of :class:`KernelParams`
+(see :mod:`repro.workloads.suite`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+from ...isa.builder import ProgramBuilder
+from ...isa.opcodes import Opcode
+from ...isa.program import Program
+from .patterns import (
+    PatternRegs,
+    Region,
+    allocate_chase_input,
+    allocate_input,
+    allocate_region,
+    emit_compute_block,
+    emit_constant_fill,
+    emit_pointer_chase,
+    emit_region_fill,
+    emit_scatter_reads,
+    emit_seed_from_memory,
+    emit_spill_reload,
+    emit_stream_reads,
+    emit_value_chain,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class RegionSpec:
+    """One phase-constant region and its swappable read traffic.
+
+    With the harness cache scaling (L1 = 128 words, L2 = 1024 words):
+    ``words <= 128`` keeps reads L1-resident, ``words ~ 512-1024`` makes
+    them L2-resident, and ``words >= 4096`` pushes them to main memory.
+    """
+
+    words: int  # power of two
+    sites: int = 4  # static swappable loads reading this region
+    repeats: int = 2  # dynamic executions per site per phase
+    chain_length: int = 4  # recomputation-slice length driver
+    nc_leaves: bool = True  # seed the chain from memory (w/ nc slices)
+    refill_every: int = 1  # rewrite the region every k-th phase
+    #: Fill with this immediate instead of a chain value: slices become
+    #: single LI instructions (bfs-style flag arrays).
+    fill_constant: Optional[int] = None
+    #: Keep reads inside a small hot subset (<= L1) except every
+    #: ``cold_every``-th repeat, which roams the whole region.  Gives
+    #: each static load the mixed L1/memory service profile that makes
+    #: the probabilistic model swap mostly-L1 loads (the sr story).
+    hot_mask: Optional[int] = None
+    cold_every: int = 0
+
+
+@dataclasses.dataclass(frozen=True)
+class KernelParams:
+    """Calibration knobs of one composite benchmark."""
+
+    phases: int = 4
+    region_specs: Tuple[RegionSpec, ...] = ()
+
+    # Spill-reload component.
+    spill_iterations: int = 0
+    spill_chain_length: int = 3
+    spill_gap_reads: int = 0
+    spill_region_words: int = 256
+    spill_nc_leaves: bool = True
+
+    # Unswappable background.
+    input_words: int = 0  # read-only input region (power of two)
+    stream_reads: int = 0  # per phase
+    chase_nodes: int = 0
+    chase_steps: int = 0  # per phase
+    compute_iterations: int = 0  # per phase
+    compute_ops: int = 4
+    use_fp: bool = True
+
+    def scaled(self, scale: float) -> "KernelParams":
+        """Scale the time dimension (phase count); footprints stay put."""
+        return dataclasses.replace(self, phases=max(2, round(self.phases * scale)))
+
+    def needs_input(self) -> bool:
+        return (
+            any(
+                spec.nc_leaves and spec.fill_constant is None
+                for spec in self.region_specs
+            )
+            or (self.spill_iterations and self.spill_nc_leaves)
+            or (self.spill_iterations and self.spill_gap_reads)
+            or self.stream_reads > 0
+        )
+
+
+def build_composite(name: str, params: KernelParams, scale: float = 1.0) -> Program:
+    """Materialise the composite kernel for *params* at *scale*."""
+    params = params.scaled(scale)
+    if params.needs_input() and not params.input_words:
+        raise ValueError(
+            f"{name}: memory-seeded chains, spill gaps, or streams need "
+            f"input_words > 0"
+        )
+    builder = ProgramBuilder(name)
+    regs = PatternRegs.allocate(builder)
+
+    regions: List[Region] = [
+        allocate_region(builder, f"r{index}", spec.words)
+        for index, spec in enumerate(params.region_specs)
+    ]
+    spill_region: Optional[Region] = None
+    if params.spill_iterations:
+        spill_region = allocate_region(builder, "spill", params.spill_region_words)
+    input_region: Optional[Region] = None
+    if params.input_words:
+        input_region = allocate_input(builder, "in", params.input_words)
+    chase: Optional[Region] = None
+    cursor = None
+    if params.chase_nodes:
+        chase = allocate_chase_input(builder, "next", params.chase_nodes)
+        cursor = builder.reg("_cursor")
+        builder.li(cursor, 1)
+    stream_offset = builder.reg("_stream_off")
+    result_cell = builder.reserve(1)
+
+    builder.li(regs.lcg, 88172645463325252)
+    builder.li(regs.sink, 0)
+    builder.li(stream_offset, 0)
+
+    with builder.loop("phase", 0, params.phases) as phase:
+        for index, spec in enumerate(params.region_specs):
+            _emit_refill(builder, regs, spec, regions[index], input_region, index, phase)
+        for index, spec in enumerate(params.region_specs):
+            emit_scatter_reads(
+                builder,
+                regs,
+                regions[index],
+                sites=spec.sites,
+                repeats=spec.repeats,
+                counter="rd",
+                hot_mask=spec.hot_mask,
+                cold_every=spec.cold_every,
+            )
+        if spill_region is not None:
+            emit_spill_reload(
+                builder,
+                regs,
+                spill_region,
+                input_region,
+                iterations=params.spill_iterations,
+                chain_length=params.spill_chain_length,
+                gap_reads=params.spill_gap_reads,
+                counter="sp",
+                gap_counter="gp",
+                seed_source=input_region if params.spill_nc_leaves else None,
+            )
+        if input_region is not None and params.stream_reads:
+            builder.mul(stream_offset, phase, params.stream_reads * 8)
+            emit_stream_reads(
+                builder,
+                regs,
+                input_region,
+                count=params.stream_reads,
+                counter="st",
+                stride=8,
+                offset_reg=stream_offset,
+            )
+        if chase is not None and params.chase_steps:
+            emit_pointer_chase(builder, regs, chase, params.chase_steps, "ch", cursor)
+        if params.compute_iterations:
+            emit_compute_block(
+                builder,
+                regs,
+                iterations=params.compute_iterations,
+                ops_per_iteration=params.compute_ops,
+                counter="cp",
+                use_fp=params.use_fp,
+            )
+
+    result_base = builder.reg("_result")
+    builder.li(result_base, result_cell)
+    builder.st(regs.sink, result_base)
+    return builder.build()
+
+
+def _emit_refill(
+    builder: ProgramBuilder,
+    regs: PatternRegs,
+    spec: RegionSpec,
+    region: Region,
+    input_region: Optional[Region],
+    index: int,
+    phase,
+) -> None:
+    """Recompute this region's phase value and rewrite the region."""
+
+    def fill() -> None:
+        if spec.fill_constant is not None:
+            emit_constant_fill(builder, regs, region, spec.fill_constant, counter="fl")
+            return
+        if spec.nc_leaves:
+            builder.mul(regs.cond, phase, 7)
+            builder.add(regs.cond, regs.cond, index * 97 + 13)
+            emit_seed_from_memory(builder, regs, input_region, regs.cond)
+        else:
+            builder.mul(regs.seed, phase, 2246822519)
+            builder.add(regs.seed, regs.seed, index * 97 + 13)
+        emit_value_chain(builder, regs, spec.chain_length)
+        if spec.nc_leaves:
+            # Destroy the seed register: the chain's deepest input is
+            # now lost by read time, so it must come from Hist via the
+            # checkpointed seed load (a "w/ nc" slice, Figure 7).
+            builder.op(Opcode.XOR, regs.seed, regs.seed, 0x5A5A5A5A)
+        emit_region_fill(builder, regs, region, counter="fl")
+
+    if spec.refill_every <= 1:
+        fill()
+    else:
+        builder.op(Opcode.REM, regs.cond, phase, spec.refill_every)
+        with builder.when(Opcode.BEQ, regs.cond, builder.zero):
+            fill()

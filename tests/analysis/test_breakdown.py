@@ -1,0 +1,48 @@
+"""Table 4 breakdown computation."""
+
+import pytest
+
+from repro.analysis import breakdown_row, breakdown_table, render_breakdown
+from repro.core import evaluate_policies
+from repro.energy import EPITable, EnergyModel
+
+from ..conftest import build_spill_kernel, tiny_config
+
+
+@pytest.fixture(scope="module")
+def results():
+    model = EnergyModel(epi=EPITable.default(), config=tiny_config())
+    return {
+        "k": evaluate_policies(
+            build_spill_kernel(iterations=10, chain=4, gap=6, name="k"),
+            policies=("Compiler",),
+            model=model,
+        )
+    }
+
+
+def test_row_shape(results):
+    row = breakdown_row("k", results["k"]["Compiler"])
+    assert row.benchmark == "k"
+    # Recomputation adds instructions and removes loads.
+    assert row.instruction_increase_percent > 0
+    assert row.load_decrease_percent > 0
+    # Shares are percentages.
+    classic_total = row.classic_load + row.classic_store + row.classic_nonmem
+    assert classic_total == pytest.approx(100.0, abs=0.01)
+    amnesic_total = (
+        row.amnesic_load + row.amnesic_store + row.amnesic_nonmem + row.amnesic_hist
+    )
+    assert amnesic_total == pytest.approx(100.0, abs=0.01)
+
+
+def test_amnesic_load_share_drops(results):
+    row = breakdown_row("k", results["k"]["Compiler"])
+    assert row.amnesic_load < row.classic_load
+
+
+def test_table_and_render(results):
+    rows = breakdown_table(results)
+    text = render_breakdown(rows, title="T4")
+    assert text.startswith("T4")
+    assert "k" in text

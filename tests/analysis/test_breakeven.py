@@ -1,0 +1,52 @@
+"""Break-even bisection (Table 6)."""
+
+import pytest
+
+from repro.analysis import default_r, edp_gain_at_factor, find_breakeven
+from repro.energy import EPITable, EnergyModel, paper_energy_model
+
+from ..conftest import build_spill_kernel, tiny_config
+
+
+def test_bisection_with_injected_gain():
+    """Synthetic gain curve: positive below 10, negative above."""
+    calls = []
+
+    def gain(factor):
+        calls.append(factor)
+        return 10.0 - factor
+
+    result = find_breakeven("synthetic", None, None, gain_fn=gain)
+    assert result.converged
+    assert result.breakeven_factor == pytest.approx(10.0, abs=0.5)
+
+
+def test_unprofitable_at_default():
+    result = find_breakeven("dead", None, None, gain_fn=lambda f: -1.0)
+    assert result.breakeven_factor == 1.0
+    assert result.gain_at_default_percent == -1.0
+
+
+def test_cap_reported_as_lower_bound():
+    result = find_breakeven("cap", None, None, max_factor=8.0,
+                            gain_fn=lambda f: 5.0)
+    assert not result.converged
+    assert result.breakeven_factor == 8.0
+
+
+def test_default_r_matches_paper():
+    assert default_r(paper_energy_model()) == pytest.approx(0.0086, abs=0.001)
+
+
+@pytest.mark.integration
+def test_real_gain_erodes_as_compute_gets_dearer():
+    """On a profitable benchmark the gain must erode when compute EPI
+    grows by a large factor (the Table 6 mechanism)."""
+    from repro.workloads import get
+
+    model = paper_energy_model()
+    program = get("is").instantiate(0.25)
+    gain_default = edp_gain_at_factor(program, model, 1.0)
+    gain_scaled = edp_gain_at_factor(program, model, 64.0)
+    assert gain_default > 5.0
+    assert gain_scaled < gain_default

@@ -1,0 +1,59 @@
+"""Figures 6-8 analyses."""
+
+import pytest
+
+from repro.analysis import (
+    locality_histogram,
+    nonrecomputable_share,
+    render_length_histogram,
+    render_locality_histogram,
+    render_nc_table,
+    slice_length_histogram,
+)
+from repro.core import evaluate_policies
+from repro.energy import EPITable, EnergyModel
+
+from ..conftest import build_spill_kernel, tiny_config
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    model = EnergyModel(epi=EPITable.default(), config=tiny_config())
+    results = evaluate_policies(
+        build_spill_kernel(iterations=12, chain=4, gap=6),
+        policies=("Compiler",),
+        model=model,
+    )
+    return results["Compiler"]
+
+
+def test_slice_length_histogram(comparison):
+    histogram = slice_length_histogram("k", comparison.compilation)
+    assert histogram.lengths
+    fractions = histogram.fractions([0, 5, 10, 100])
+    assert sum(fractions) == pytest.approx(1.0)
+    assert histogram.share_below(10) >= histogram.share_below(5)
+    assert histogram.max_length == max(histogram.lengths)
+
+
+def test_nonrecomputable_share(comparison):
+    share = nonrecomputable_share("k", comparison.compilation)
+    assert share.total == len(comparison.compilation.rslices)
+    assert 0 <= share.with_nc_percent <= 100
+
+
+def test_locality_histogram(comparison):
+    histogram = locality_histogram("k", comparison)
+    assert len(histogram.fractions) == 10
+    assert sum(histogram.fractions) == pytest.approx(1.0, abs=1e-9)
+    assert 0 <= histogram.weighted_mean_percent() <= 100
+
+
+def test_renderers(comparison):
+    assert "#" in render_length_histogram(
+        slice_length_histogram("k", comparison.compilation)
+    ) or "%" in render_length_histogram(
+        slice_length_histogram("k", comparison.compilation)
+    )
+    assert "w/ nc" in render_nc_table([nonrecomputable_share("k", comparison.compilation)])
+    assert "%" in render_locality_histogram(locality_histogram("k", comparison))

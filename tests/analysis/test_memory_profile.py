@@ -1,0 +1,39 @@
+"""Table 5 swapped-load profiles."""
+
+import pytest
+
+from repro.analysis import memory_profile_table, render_memory_profile
+from repro.core import evaluate_policies
+from repro.energy import EPITable, EnergyModel
+
+from ..conftest import build_spill_kernel, tiny_config
+
+
+@pytest.fixture(scope="module")
+def results():
+    model = EnergyModel(epi=EPITable.default(), config=tiny_config())
+    return {
+        "k": evaluate_policies(
+            build_spill_kernel(iterations=12, chain=3, gap=8, name="k"),
+            model=model,
+        )
+    }
+
+
+def test_rows_sum_to_100(results):
+    rows = memory_profile_table(results)
+    for row in rows:
+        if row.swapped_slice_count:
+            total = row.l1_percent + row.l2_percent + row.mem_percent
+            assert total == pytest.approx(100.0, abs=0.01)
+
+
+def test_policies_covered(results):
+    rows = memory_profile_table(results)
+    assert {row.policy for row in rows} == {"Compiler", "FLC", "LLC"}
+
+
+def test_render(results):
+    rows = memory_profile_table(results)
+    text = render_memory_profile(rows, title="T5")
+    assert "Compiler" in text and "L1-hit%" in text

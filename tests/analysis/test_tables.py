@@ -1,0 +1,29 @@
+"""Text table rendering."""
+
+from repro.analysis import render_histogram, render_table
+
+
+def test_table_alignment_and_precision():
+    text = render_table(["a", "bb"], [[1.23456, "x"], [10, "yy"]], precision=2)
+    lines = text.splitlines()
+    assert lines[0].endswith("bb")
+    assert "1.23" in text
+    assert "10" in text
+
+
+def test_table_with_title():
+    text = render_table(["h"], [[1]], title="My Table")
+    assert text.startswith("My Table")
+
+
+def test_histogram_bars_scale():
+    text = render_histogram(["low", "high"], [0.25, 0.75], width=4)
+    low_line, high_line = text.splitlines()
+    assert low_line.count("#") == 1
+    assert high_line.count("#") == 3
+    assert "75.0%" in high_line
+
+
+def test_empty_rows():
+    text = render_table(["only"], [])
+    assert "only" in text

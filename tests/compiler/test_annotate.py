@@ -1,0 +1,97 @@
+"""Binary rewriting: RCMP swap, REC planting, slice embedding."""
+
+import pytest
+
+from repro.compiler import PassOptions, compile_amnesic, rewrite_binary
+from repro.energy import EPITable, EnergyModel
+from repro.errors import CompilationError
+from repro.isa import Opcode, validate_program
+
+from ..conftest import build_spill_kernel, tiny_config
+
+
+def make_model():
+    return EnergyModel(epi=EPITable.default(), config=tiny_config())
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    program = build_spill_kernel(iterations=10, chain=4, gap=4)
+    return program, compile_amnesic(program, make_model())
+
+
+def test_rewritten_binary_validates(compiled):
+    _, result = compiled
+    validate_program(result.binary.program)  # must not raise
+
+
+def test_swapped_loads_become_rcmp(compiled):
+    original, result = compiled
+    rewritten = result.binary.program
+    original_loads = len(original.static_loads())
+    rcmps = rewritten.static_rcmp()
+    assert len(rcmps) == len(result.rslices)
+    remaining_loads = len(rewritten.static_loads())
+    assert remaining_loads == original_loads - len(result.rslices)
+
+
+def test_rec_planted_for_hist_slices(compiled):
+    _, result = compiled
+    rewritten = result.binary.program
+    rec_count = sum(1 for i in rewritten if i.opcode is Opcode.REC)
+    hist_slices = [rs for rs in result.rslices if rs.has_nonrecomputable_inputs]
+    if hist_slices:
+        assert rec_count >= len(hist_slices)
+    # REC instructions only reference registered slices (validated), and
+    # every hist leaf of every slice has a REC.
+    planted = {(i.slice_id, i.leaf_id) for i in rewritten if i.opcode is Opcode.REC}
+    for slice_id, info in result.binary.slices.items():
+        for leaf_id in info.hist_leaf_ids:
+            assert (slice_id, leaf_id) in planted
+
+
+def test_slices_embedded_after_halt(compiled):
+    _, result = compiled
+    rewritten = result.binary.program
+    halt_pcs = [
+        pc for pc, instr in enumerate(rewritten.instructions)
+        if instr.opcode is Opcode.HALT
+    ]
+    first_halt = halt_pcs[0]
+    for region in rewritten.slices.values():
+        assert region.start > first_halt
+
+
+def test_slice_info_consistency(compiled):
+    _, result = compiled
+    for slice_id, info in result.binary.slices.items():
+        assert info.slice_id == slice_id
+        assert info.sreg_demand >= 1
+        assert info.length == info.rslice.length
+
+
+def test_labels_still_resolve_after_insertion(compiled):
+    original, result = compiled
+    rewritten = result.binary.program
+    # Every original label survives and points at an instruction.
+    for label in original.labels:
+        assert label in rewritten.labels
+
+
+def test_cannot_reannotate(compiled):
+    _, result = compiled
+    with pytest.raises(CompilationError):
+        rewrite_binary(result.binary.program, result.rslices)
+
+
+def test_duplicate_slice_targets_rejected():
+    program = build_spill_kernel(iterations=6, chain=3, gap=2)
+    result = compile_amnesic(program, make_model())
+    if result.rslices:
+        import dataclasses
+        duplicated = [
+            result.rslices[0],
+            dataclasses.replace(result.rslices[0], slice_id=1),
+        ]
+        with pytest.raises(CompilationError):
+            rewrite_binary(program, duplicated)

@@ -1,0 +1,74 @@
+"""Compiler cost model: E_ld, E_rc, REC amortisation."""
+
+from repro.compiler import TemplateExtractor
+from repro.compiler.cost import (
+    ESTIMATION_GLOBAL,
+    ESTIMATION_PER_LOAD,
+    CostContext,
+)
+from repro.energy import EPITable, EnergyModel
+from repro.machine import Level
+from repro.trace import profile_program
+
+from ..conftest import build_spill_kernel, tiny_config
+
+
+def make_context(estimation=ESTIMATION_GLOBAL, chain=4):
+    program = build_spill_kernel(iterations=10, chain=chain, gap=4)
+    model = EnergyModel(epi=EPITable.default(), config=tiny_config())
+    profile = profile_program(program, model)
+    context = CostContext.from_trace(
+        model, profile.loads, profile.dependence, estimation=estimation
+    )
+    extractor = TemplateExtractor(profile.dependence)
+    (load_pc,) = [
+        pc for pc in program.static_loads() if extractor.extract(pc) is not None
+    ]
+    return context, extractor.extract(load_pc).tree, load_pc
+
+
+def test_global_estimation_is_uniform():
+    context, _, load_pc = make_context(ESTIMATION_GLOBAL)
+    assert (
+        context.estimated_load_cost(load_pc).energy_nj
+        == context.estimated_load_cost(99999).energy_nj
+    )
+
+
+def test_per_load_estimation_differs_from_global():
+    context, _, load_pc = make_context(ESTIMATION_PER_LOAD)
+    per_load = context.estimated_load_cost(load_pc)
+    context.estimation = ESTIMATION_GLOBAL
+    global_cost = context.estimated_load_cost(load_pc)
+    assert per_load.energy_nj != global_cost.energy_nj
+
+
+def test_load_cost_at_levels_ordered():
+    context, _, _ = make_context()
+    assert (
+        context.load_cost_at(Level.L1).energy_nj
+        < context.load_cost_at(Level.L2).energy_nj
+        < context.load_cost_at(Level.MEM).energy_nj
+    )
+
+
+def test_traversal_cost_includes_control_overhead():
+    context, tree, _ = make_context()
+    traversal = context.traversal_cost(tree)
+    overhead = context.control_overhead()
+    assert traversal.energy_nj > overhead.energy_nj
+
+
+def test_traversal_grows_with_tree_size():
+    context_small, small_tree, pc_small = make_context(chain=2)
+    context_large, large_tree, pc_large = make_context(chain=7)
+    small = context_small.traversal_cost(small_tree)
+    large = context_large.traversal_cost(large_tree)
+    assert large.energy_nj > small.energy_nj
+
+
+def test_selection_cost_adds_rec_amortisation():
+    context, tree, load_pc = make_context()
+    traversal = context.traversal_cost(tree)
+    selection = context.selection_cost(tree, load_pc)
+    assert selection.energy_nj >= traversal.energy_nj

@@ -1,0 +1,147 @@
+"""Template extraction from dependence traces."""
+
+from repro.energy import EPITable, EnergyModel
+from repro.compiler import TemplateExtractor
+from repro.isa import Opcode, ProgramBuilder
+from repro.trace import profile_program
+
+from ..conftest import build_accumulator_kernel, build_spill_kernel, tiny_config
+
+
+def make_model():
+    return EnergyModel(epi=EPITable.default(), config=tiny_config())
+
+
+def extract_all(program, **kwargs):
+    profile = profile_program(program, make_model())
+    extractor = TemplateExtractor(profile.dependence, **kwargs)
+    templates = {}
+    for pc in program.static_loads():
+        candidate = extractor.extract(pc)
+        if candidate is not None:
+            templates[pc] = candidate
+    return templates, profile
+
+
+def test_spill_reload_template_found():
+    program = build_spill_kernel(iterations=8, chain=3, gap=4)
+    templates, _ = extract_all(program)
+    # Exactly one load (the reload) has a produced value; gap loads are
+    # read-only input reads.
+    assert len(templates) == 1
+    (candidate,) = templates.values()
+    assert candidate.instance_count == 8
+    opcodes = [node.opcode for node in candidate.tree.walk()]
+    assert Opcode.MUL in opcodes or Opcode.XOR in opcodes
+
+
+def test_read_only_loads_are_rejected():
+    b = ProgramBuilder()
+    arr = b.data([1, 2, 3, 4], read_only=True)
+    base, v, addr = b.regs("base", "v", "addr")
+    b.li(base, arr)
+    with b.loop("i", 0, 4) as i:
+        b.add(addr, base, i)
+        b.ld(v, addr)
+    templates, _ = extract_all(b.build())
+    assert templates == {}
+
+
+def test_constant_store_gives_li_template():
+    b = ProgramBuilder()
+    cell = b.reserve(1)
+    base, v = b.regs("base", "v")
+    b.li(base, cell)
+    with b.loop("i", 0, 4):
+        b.st(99, base)
+        b.ld(v, base)
+    templates, _ = extract_all(b.build())
+    (candidate,) = templates.values()
+    assert candidate.tree.opcode is Opcode.LI
+    assert candidate.tree.leaf_inputs[0].const_value == 99
+
+
+def _assert_no_pc_repeats_on_any_path(node, path=()):
+    assert node.pc not in path, f"pc {node.pc} repeats along a path"
+    for child in node.children:
+        _assert_no_pc_repeats_on_any_path(child, path + (node.pc,))
+
+
+def test_loop_carried_chain_is_not_unrolled():
+    """Accumulators must become leaves, not unbounded self-expansions.
+
+    Diamonds (the same static pc on *different* paths) are legal; a pc
+    repeating along one root-to-leaf path would unroll a loop-carried
+    dependence, which Hist's latest-value semantics cannot replay.
+    """
+    program = build_accumulator_kernel(iterations=8)
+    templates, _ = extract_all(program)
+    (candidate,) = templates.values()
+    _assert_no_pc_repeats_on_any_path(candidate.tree)
+
+
+def test_node_budget_caps_extraction():
+    program = build_spill_kernel(iterations=8, chain=6, gap=4)
+    templates, _ = extract_all(program, max_nodes=2)
+    # Template may be rejected or tiny, never above the cap.
+    for candidate in templates.values():
+        assert candidate.tree.size <= 2
+
+
+def test_height_cap_limits_depth():
+    program = build_spill_kernel(iterations=8, chain=6, gap=4)
+    templates, _ = extract_all(program, max_height=1)
+    for candidate in templates.values():
+        assert candidate.tree.height <= 1
+
+
+def test_unstable_producer_rejected():
+    """A load fed alternately by two different static stores is rejected."""
+    b = ProgramBuilder()
+    cell = b.reserve(1)
+    base, v, t = b.regs("base", "v", "t")
+    b.li(base, cell)
+    with b.loop("i", 0, 8) as i:
+        from repro.isa import Opcode as Op
+        b.op(Op.AND, t, i, 1)
+        with b.when(Op.BEQ, t, 0):
+            b.mul(t, i, 3)
+            b.st(t, base)
+        with b.when(Op.BEQ, t, 1):
+            b.add(t, i, 100)
+            b.st(t, base)
+        b.ld(v, base)
+    templates, _ = extract_all(b.build())
+    assert templates == {}
+
+
+def test_checkpoint_load_node_for_produced_chain_load():
+    """A load in the chain becomes an expandable checkpoint-load node."""
+    b = ProgramBuilder()
+    cell_a = b.reserve(1)
+    cell_b = b.reserve(1)
+    ra, rb, v, t = b.regs("ra", "rb", "v", "t")
+    b.li(ra, cell_a)
+    b.li(rb, cell_b)
+    with b.loop("i", 0, 6) as i:
+        b.mul(t, i, 7)
+        b.st(t, ra)          # produce a
+        b.ld(t, ra)          # reload a (chain load)
+        b.add(t, t, 1)
+        b.st(t, rb)          # produce b = a + 1
+        b.ld(v, rb)          # the candidate reload
+    templates, _ = extract_all(b.build())
+    assert templates
+    found_checkpoint = any(
+        node.is_checkpoint_load
+        for candidate in templates.values()
+        for node in candidate.tree.walk()
+    )
+    assert found_checkpoint
+
+
+def test_no_instances_returns_none():
+    program = build_spill_kernel(iterations=4, gap=2)
+    profile = profile_program(program, make_model())
+    extractor = TemplateExtractor(profile.dependence)
+    assert extractor.extract(999) is None

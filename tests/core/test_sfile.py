@@ -1,0 +1,121 @@
+"""Scratch file and renamer."""
+
+import pytest
+
+from repro.core import Renamer, SFile
+from repro.errors import SchedulerError
+from repro.isa import SReg
+
+
+def test_allocate_write_read():
+    sfile = SFile(capacity=4)
+    entry = sfile.allocate()
+    sfile.write(entry, 42)
+    assert sfile.read(entry) == 42
+    assert sfile.stats.writes == 1
+    assert sfile.stats.reads == 1
+
+
+def test_exhaustion_raises():
+    sfile = SFile(capacity=2)
+    sfile.allocate()
+    sfile.allocate()
+    with pytest.raises(SchedulerError):
+        sfile.allocate()
+
+
+def test_release_all_frees_everything():
+    sfile = SFile(capacity=2)
+    entry = sfile.allocate()
+    sfile.write(entry, 1)
+    sfile.release_all()
+    assert sfile.occupancy == 0
+    sfile.allocate()
+    sfile.allocate()
+
+
+def test_read_of_invalid_entry_raises():
+    sfile = SFile(capacity=2)
+    entry = sfile.allocate()
+    with pytest.raises(SchedulerError):
+        sfile.read(entry)
+
+
+def test_high_water_tracks_peak():
+    sfile = SFile(capacity=4)
+    sfile.allocate()
+    sfile.allocate()
+    sfile.release_all()
+    sfile.allocate()
+    assert sfile.stats.high_water == 2
+
+
+def test_renamer_maps_virtual_to_physical():
+    sfile = SFile(capacity=4)
+    renamer = Renamer(sfile)
+    renamer.begin_slice()
+    renamer.write(SReg(7), 10)
+    renamer.write(SReg(3), 20)
+    assert renamer.read(SReg(7)) == 10
+    assert renamer.read(SReg(3)) == 20
+    assert renamer.live_mappings == 2
+
+
+def test_renamer_read_of_unwritten_sreg_raises():
+    renamer = Renamer(SFile(capacity=2))
+    renamer.begin_slice()
+    with pytest.raises(SchedulerError):
+        renamer.read(SReg(0))
+
+
+def test_renamer_rewrite_reuses_entry():
+    sfile = SFile(capacity=1)
+    renamer = Renamer(sfile)
+    renamer.begin_slice()
+    renamer.write(SReg(0), 1)
+    renamer.write(SReg(0), 2)  # same virtual register: no new allocation
+    assert renamer.read(SReg(0)) == 2
+
+
+def test_end_slice_clears_mappings():
+    sfile = SFile(capacity=2)
+    renamer = Renamer(sfile)
+    renamer.begin_slice()
+    renamer.write(SReg(0), 1)
+    renamer.end_slice()
+    assert renamer.live_mappings == 0
+    with pytest.raises(SchedulerError):
+        renamer.read(SReg(0))
+
+
+def test_rename_requests_counted():
+    sfile = SFile(capacity=4)
+    renamer = Renamer(sfile)
+    renamer.begin_slice()
+    renamer.write(SReg(0), 1)
+    renamer.read(SReg(0))
+    assert sfile.stats.rename_requests == 2
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        SFile(capacity=0)
+
+
+def test_fma_rename_requests_fit_the_paper_bound():
+    """Paper section 3.4: max#rename = max#src + max#dest; our FMA has
+    three sources, so one recomputing FMA raises four rename requests."""
+    from repro.isa import MAX_RENAME_REQUESTS
+
+    sfile = SFile(capacity=8)
+    renamer = Renamer(sfile)
+    renamer.begin_slice()
+    for index in range(3):  # three source operands already in SFile
+        renamer.write(SReg(index), index)
+    before = sfile.stats.rename_requests
+    # The FMA reads s0..s2 and writes s3: four requests.
+    renamer.read(SReg(0))
+    renamer.read(SReg(1))
+    renamer.read(SReg(2))
+    renamer.write(SReg(3), 99)
+    assert sfile.stats.rename_requests - before == MAX_RENAME_REQUESTS

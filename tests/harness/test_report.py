@@ -1,0 +1,29 @@
+"""Markdown report generation."""
+
+import pytest
+
+from repro.harness import SuiteRunner, build_report, write_report
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return SuiteRunner(scale=0.25)
+
+
+def test_build_report_contains_sections(runner):
+    text = build_report(runner, experiments=("table1",))
+    assert text.startswith("# AMNESIAC reproduction")
+    assert "## table1" in text
+    assert "40nm" in text
+
+
+def test_write_report_creates_file(tmp_path, runner):
+    target = write_report(runner, str(tmp_path / "sub" / "report.md"),
+                          experiments=("table1",))
+    assert target.exists()
+    assert "40nm" in target.read_text()
+
+
+def test_unknown_experiment_rejected(tmp_path, runner):
+    with pytest.raises(KeyError):
+        write_report(runner, str(tmp_path / "r.md"), experiments=("nope",))

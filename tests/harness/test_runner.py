@@ -1,0 +1,51 @@
+"""Suite runner caching and experiment registry."""
+
+import pytest
+
+from repro.harness import EXPERIMENTS, SuiteRunner, run_experiment
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return SuiteRunner(scale=0.25)
+
+
+def test_result_is_cached(runner):
+    first = runner.result("bfs")
+    second = runner.result("bfs")
+    assert first is second
+    runner.invalidate()
+    assert runner.result("bfs") is not first
+
+
+def test_registry_covers_every_table_and_figure():
+    expected = {"table1", "fig3", "fig4", "fig5", "table4", "table5",
+                "fig6", "fig7", "fig8", "table6"}
+    assert expected <= set(EXPERIMENTS)
+
+
+def test_unknown_experiment_raises(runner):
+    with pytest.raises(KeyError):
+        run_experiment("fig99", runner)
+
+
+def test_table1_needs_no_simulation(runner):
+    report = run_experiment("table1", runner)
+    assert "40nm" in report.text
+    assert "5.75" in report.text
+
+
+@pytest.mark.integration
+def test_fig3_report_structure(runner):
+    report = run_experiment("fig3", runner)
+    assert "Compiler" in report.text
+    matrix = report.data
+    assert set(matrix.benchmarks()) == {
+        "mcf", "sx", "cg", "is", "ca", "fs", "fe", "rt", "bp", "bfs", "sr"
+    }
+
+
+@pytest.mark.integration
+def test_fig7_report_structure(runner):
+    report = run_experiment("fig7", runner)
+    assert "w/ nc" in report.text

@@ -1,0 +1,58 @@
+"""Cross-validation: stack distances predict the Table 5 residence split.
+
+The workload calibration claims that region size against cache capacity
+pins where swapped loads are serviced.  This test closes the loop from
+first principles: the stack-distance profile of a benchmark's load
+stream (a pure trace property, independent of the cache simulator) must
+be consistent with the service levels the hierarchy actually reported.
+"""
+
+import pytest
+
+from repro import paper_energy_model
+from repro.machine import Level
+from repro.trace import profile_program, summarise_trace
+from repro.workloads import get
+
+pytestmark = pytest.mark.integration
+
+#: Harness geometry in lines (default_config: 16 L1 lines, 128 L2 lines).
+L1_LINES = 16
+L2_LINES = 128
+
+
+@pytest.mark.parametrize("bench", ["is", "bfs", "mcf"])
+def test_stack_distance_consistent_with_service_levels(bench):
+    program = get(bench).instantiate(0.5)
+    profile = profile_program(program, paper_energy_model())
+    summary = summarise_trace(profile.dependence)
+    fractions = profile.cpu.hierarchy.stats.load_fractions()
+
+    # A fully-associative LRU bound: the measured L1 hit rate cannot
+    # exceed the fraction of loads with stack distance < L1 lines by
+    # much (set conflicts only push hits *down*).
+    predicted_l1 = summary.load_reuse.fraction_within(L1_LINES)
+    assert fractions[Level.L1] <= predicted_l1 + 0.12, (
+        bench, fractions[Level.L1], predicted_l1)
+
+    # And the L1+L2 coverage bounds the non-memory fraction likewise.
+    predicted_l2 = summary.load_reuse.fraction_within(L2_LINES)
+    measured_cached = fractions[Level.L1] + fractions[Level.L2]
+    assert measured_cached <= predicted_l2 + 0.12, (
+        bench, measured_cached, predicted_l2)
+
+
+def test_working_sets_straddle_the_hierarchy():
+    """mcf's footprint dwarfs L2; bfs's flag region nestles inside L1."""
+    model = paper_energy_model()
+    mcf = summarise_trace(
+        profile_program(get("mcf").instantiate(0.5), model).dependence
+    )
+    assert mcf.working_set_lines > 4 * L2_LINES
+
+    bfs = summarise_trace(
+        profile_program(get("bfs").instantiate(0.5), model).dependence
+    )
+    # Most of bfs's *load traffic* is L1-coverable even though its total
+    # footprint is larger.
+    assert bfs.load_reuse.fraction_within(L1_LINES) > 0.75

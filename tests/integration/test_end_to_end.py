@@ -1,0 +1,71 @@
+"""Whole-pipeline integration invariants on harness-scale machinery."""
+
+import pytest
+
+from repro import evaluate_policies, paper_energy_model
+from repro.workloads import get
+
+pytestmark = pytest.mark.integration
+
+
+@pytest.fixture(scope="module")
+def is_results():
+    """One shared evaluation of the 'is' benchmark at test scale."""
+    program = get("is").instantiate(0.3)
+    return evaluate_policies(program, model=paper_energy_model())
+
+
+def test_all_policies_verify(is_results):
+    for name, result in is_results.items():
+        assert result.amnesic.stats.rcmp_encountered > 0, name
+
+
+def test_memory_state_identical_across_policies(is_results):
+    snapshots = {
+        name: result.amnesic.cpu.memory.snapshot()
+        for name, result in is_results.items()
+    }
+    classic = next(iter(is_results.values())).classic.cpu.memory.snapshot()
+    for name, snapshot in snapshots.items():
+        assert snapshot == classic, name
+
+
+def test_oracle_at_least_matches_c_oracle(is_results):
+    assert (
+        is_results["Oracle"].edp_gain_percent
+        >= is_results["C-Oracle"].edp_gain_percent - 1.0
+    )
+
+
+def test_flc_beats_llc(is_results):
+    """FLC > LLC, the paper's consistent section 5.1 finding."""
+    assert is_results["FLC"].edp_gain_percent > is_results["LLC"].edp_gain_percent
+
+
+def test_memory_bound_benchmark_gains(is_results):
+    assert is_results["Compiler"].edp_gain_percent > 10.0
+
+
+def test_energy_and_time_both_improve(is_results):
+    result = is_results["Compiler"]
+    assert result.energy_gain_percent > 0
+    assert result.time_gain_percent > 0
+
+
+def test_sr_inversion():
+    """The paper's signature sr result: Compiler degrades EDP while the
+    miss-driven policies still gain."""
+    program = get("sr").instantiate(1.0)
+    results = evaluate_policies(
+        program, policies=("Compiler", "FLC"), model=paper_energy_model()
+    )
+    assert results["Compiler"].edp_gain_percent < results["FLC"].edp_gain_percent
+    assert results["FLC"].edp_gain_percent > 0
+
+
+def test_compute_bound_benchmark_is_unresponsive():
+    program = get("blackscholes").instantiate(0.5)
+    results = evaluate_policies(
+        program, policies=("Compiler",), model=paper_energy_model()
+    )
+    assert abs(results["Compiler"].edp_gain_percent) < 5.0

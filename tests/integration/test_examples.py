@@ -1,0 +1,25 @@
+"""The fast examples must run end to end (smoke)."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+pytestmark = pytest.mark.integration
+
+
+@pytest.mark.parametrize("script", ["quickstart.py", "organic_algorithms.py"])
+def test_example_runs(script, capsys):
+    path = EXAMPLES / script
+    assert path.exists()
+    saved_argv = sys.argv
+    sys.argv = [str(path)]
+    try:
+        runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.argv = saved_argv
+    out = capsys.readouterr().out
+    assert out.strip()

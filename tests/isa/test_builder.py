@@ -1,0 +1,134 @@
+"""ProgramBuilder DSL behaviour (verified by executing built programs)."""
+
+import pytest
+
+from repro.energy import EPITable, EnergyModel
+from repro.errors import ValidationError
+from repro.isa import DATA_BASE, Opcode, ProgramBuilder
+from repro.machine import CPU
+
+from ..conftest import tiny_config
+
+
+def run(program):
+    cpu = CPU(program, EnergyModel(epi=EPITable.default(), config=tiny_config()))
+    cpu.run()
+    return cpu
+
+
+def test_named_registers_are_stable():
+    b = ProgramBuilder()
+    first = b.reg("x")
+    second = b.reg("x")
+    assert first == second
+    assert b.reg("y") != first
+
+
+def test_register_exhaustion():
+    b = ProgramBuilder()
+    for index in range(31):
+        b.reg(f"r{index}")
+    with pytest.raises(ValidationError):
+        b.reg("one_too_many")
+
+
+def test_data_placement_is_sequential():
+    b = ProgramBuilder()
+    first = b.data([1, 2, 3])
+    second = b.data([4])
+    assert first == DATA_BASE
+    assert second == DATA_BASE + 3
+    assert b.program.data.cells[second] == 4
+
+
+def test_loop_executes_correct_iteration_count():
+    b = ProgramBuilder()
+    cell = b.reserve(1)
+    counter, base = b.regs("count", "base")
+    b.li(base, cell)
+    b.li(counter, 0)
+    with b.loop("i", 0, 7):
+        b.add(counter, counter, 1)
+    b.st(counter, base)
+    cpu = run(b.build())
+    assert cpu.memory.read(cell) == 7
+
+
+def test_loop_with_zero_iterations_skips_body():
+    b = ProgramBuilder()
+    cell = b.reserve(1, fill=99)
+    base = b.reg("base")
+    b.li(base, cell)
+    with b.loop("i", 5, 5):
+        b.st(0, base)
+    cpu = run(b.build())
+    assert cpu.memory.read(cell) == 99
+
+
+def test_loop_with_register_bound():
+    b = ProgramBuilder()
+    cell = b.reserve(1)
+    bound, counter, base = b.regs("bound", "count", "base")
+    b.li(bound, 4)
+    b.li(counter, 0)
+    b.li(base, cell)
+    with b.loop("i", 0, bound):
+        b.add(counter, counter, 1)
+    b.st(counter, base)
+    cpu = run(b.build())
+    assert cpu.memory.read(cell) == 4
+
+
+def test_when_block_taken_and_skipped():
+    b = ProgramBuilder()
+    cell = b.reserve(2)
+    base, value = b.regs("base", "value")
+    b.li(base, cell)
+    b.li(value, 3)
+    with b.when(Opcode.BEQ, value, 3):
+        b.st(1, base)
+    with b.when(Opcode.BEQ, value, 4):
+        b.st(1, base, offset=1)
+    cpu = run(b.build())
+    assert cpu.memory.read(cell) == 1
+    assert cpu.memory.read(cell + 1) == 0
+
+
+def test_when_rejects_non_branch():
+    b = ProgramBuilder()
+    with pytest.raises(ValidationError):
+        with b.when(Opcode.ADD, 1, 2):
+            pass
+
+
+def test_build_appends_halt_once():
+    b = ProgramBuilder()
+    b.li(b.reg("x"), 1)
+    program = b.build()
+    assert program.instructions[-1].opcode is Opcode.HALT
+    assert sum(1 for i in program if i.opcode is Opcode.HALT) == 1
+
+
+def test_nested_loops():
+    b = ProgramBuilder()
+    cell = b.reserve(1)
+    counter, base = b.regs("count", "base")
+    b.li(base, cell)
+    b.li(counter, 0)
+    with b.loop("i", 0, 3):
+        with b.loop("j", 0, 4):
+            b.add(counter, counter, 1)
+    b.st(counter, base)
+    cpu = run(b.build())
+    assert cpu.memory.read(cell) == 12
+
+
+def test_op_coerces_bare_numbers():
+    b = ProgramBuilder()
+    cell = b.reserve(1)
+    x, base = b.regs("x", "base")
+    b.li(base, cell)
+    b.op(Opcode.ADD, x, 2, 3)
+    b.st(x, base)
+    cpu = run(b.build())
+    assert cpu.memory.read(cell) == 5

@@ -1,0 +1,125 @@
+"""Assembler round-trip, including property-based random programs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AssemblyError
+from repro.isa import (
+    ARITY,
+    Imm,
+    Instruction,
+    Opcode,
+    Program,
+    Reg,
+    SReg,
+    HistRef,
+    SliceRegion,
+    parse,
+    serialise,
+)
+from ..conftest import build_spill_kernel
+
+
+def roundtrip(program: Program) -> Program:
+    return parse(serialise(program))
+
+
+def assert_programs_equal(a: Program, b: Program) -> None:
+    assert a.name == b.name
+    assert len(a) == len(b)
+    for left, right in zip(a.instructions, b.instructions):
+        assert left.opcode == right.opcode
+        assert left.dest == right.dest
+        assert left.srcs == right.srcs
+        assert left.target == right.target
+        assert left.slice_id == right.slice_id
+        assert left.leaf_id == right.leaf_id
+    assert a.labels == b.labels
+    assert a.data.cells == b.data.cells
+    assert sorted(a.data.read_only) == sorted(b.data.read_only)
+    assert {k: vars(v) for k, v in a.slices.items()} == {
+        k: vars(v) for k, v in b.slices.items()
+    }
+
+
+def test_roundtrip_spill_kernel():
+    program = build_spill_kernel(iterations=4, gap=2)
+    assert_programs_equal(program, roundtrip(program))
+
+
+def test_roundtrip_with_slices_and_amnesic_ops():
+    from repro.isa import rcmp, rec, rtn, alu, halt, li
+
+    program = Program("amn")
+    program.append(li(Reg(1), 5))
+    program.append(rec(0, 1, (Reg(1),)))
+    program.append(rcmp(Reg(2), Reg(1), 0, slice_id=0, target="rslice_0"))
+    program.append(halt())
+    program.add_label("rslice_0", 4)
+    program.append(alu(Opcode.ADD, SReg(0), HistRef(1, 0), Imm(3), leaf_id=1))
+    program.append(rtn(0, SReg(0)))
+    program.register_slice(
+        SliceRegion(slice_id=0, entry_label="rslice_0", start=4, end=6, load_pc=2)
+    )
+    program.data.place(64, [1.5, 2], read_only=True)
+    assert_programs_equal(program, roundtrip(program))
+
+
+def test_parse_rejects_unknown_opcode():
+    with pytest.raises(AssemblyError):
+        parse("frobnicate r1, r2")
+
+
+def test_parse_rejects_bad_arity():
+    with pytest.raises(AssemblyError):
+        parse("add r1, r2")
+
+
+def test_parse_rejects_unknown_directive():
+    with pytest.raises(AssemblyError):
+        parse(".bogus 1 2 3")
+
+
+def test_parse_reports_line_numbers():
+    with pytest.raises(AssemblyError) as excinfo:
+        parse("add r1, r2, r3\nbogus r1")
+    assert "line 2" in str(excinfo.value)
+
+
+_compute_ops = [op for op in Opcode if op.is_compute]
+
+
+@st.composite
+def random_instruction(draw):
+    opcode = draw(st.sampled_from(_compute_ops))
+    arity = ARITY[opcode]
+    srcs = tuple(
+        draw(
+            st.one_of(
+                st.builds(Reg, st.integers(0, 31)),
+                st.builds(Imm, st.integers(-1000, 1000)),
+            )
+        )
+        for _ in range(arity)
+    )
+    return Instruction(opcode, dest=Reg(draw(st.integers(1, 31))), srcs=srcs)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(random_instruction(), min_size=1, max_size=20))
+def test_random_program_roundtrip(instructions):
+    program = Program("random")
+    for instruction in instructions:
+        program.append(instruction)
+    assert_programs_equal(program, roundtrip(program))
+
+
+def test_jal_jr_roundtrip():
+    from repro.isa import Instruction, Reg
+
+    program = Program("calls")
+    program.append(Instruction(Opcode.JAL, dest=Reg(5), srcs=(), target="sub"))
+    program.append(Instruction(Opcode.JR, srcs=(Reg(5),)))
+    program.add_label("sub", 1)
+    assert_programs_equal(program, roundtrip(program))

@@ -1,0 +1,125 @@
+"""JAL/JR subroutine support and cross-function recomputation slices."""
+
+import pytest
+
+from repro.compiler import compile_amnesic
+from repro.core.execution import run_amnesic, run_classic
+from repro.energy import EPITable, EnergyModel
+from repro.errors import MachineFault
+from repro.isa import Opcode, ProgramBuilder
+from repro.machine import CPU
+
+from ..conftest import tiny_config
+
+
+def make_model():
+    return EnergyModel(epi=EPITable.default(), config=tiny_config())
+
+
+def test_call_and_return():
+    b = ProgramBuilder()
+    cell = b.reserve(1)
+    base, link, x = b.regs("base", "link", "x")
+    b.li(base, cell)
+    with b.subroutine("double_it", link):
+        b.mul(x, x, 2)
+    b.li(x, 21)
+    b.call("double_it", link)
+    b.st(x, base)
+    cpu = CPU(b.build(), make_model())
+    cpu.run()
+    assert cpu.memory.read(cell) == 42
+
+
+def test_nested_calls_with_distinct_links():
+    b = ProgramBuilder()
+    cell = b.reserve(1)
+    base, link1, link2, x = b.regs("base", "l1", "l2", "x")
+    b.li(base, cell)
+    with b.subroutine("inner", link2):
+        b.add(x, x, 1)
+    with b.subroutine("outer", link1):
+        b.mul(x, x, 10)
+        b.call("inner", link2)
+    b.li(x, 4)
+    b.call("outer", link1)
+    b.st(x, base)
+    cpu = CPU(b.build(), make_model())
+    cpu.run()
+    assert cpu.memory.read(cell) == 41
+
+
+def test_repeated_calls():
+    b = ProgramBuilder()
+    cell = b.reserve(1)
+    base, link, acc = b.regs("base", "link", "acc")
+    b.li(base, cell)
+    with b.subroutine("bump", link):
+        b.add(acc, acc, 5)
+    b.li(acc, 0)
+    with b.loop("i", 0, 6):
+        b.call("bump", link)
+    b.st(acc, base)
+    cpu = CPU(b.build(), make_model())
+    cpu.run()
+    assert cpu.memory.read(cell) == 30
+
+
+def test_jr_to_garbage_faults():
+    from repro.isa import Instruction, Reg
+
+    b = ProgramBuilder()
+    x = b.reg("x")
+    b.li(x, 10**9)
+    b.emit(Instruction(Opcode.JR, srcs=(x,)))
+    program = b.build(validate=False)
+    with pytest.raises(MachineFault, match="jump-register"):
+        CPU(program, make_model()).run()
+
+
+def test_slice_spans_function_boundary():
+    """Paper section 2.1: 'Producer instructions may come from different
+    basic blocks or functions.'  A value produced inside a subroutine,
+    spilled by the caller and reloaded, must yield a valid slice whose
+    nodes include the subroutine's instructions."""
+    b = ProgramBuilder()
+    slots = b.reserve(8)
+    bg = b.data(list(range(64)), read_only=True)
+    r_slots, r_bg, link, seed, value, addr, sink = b.regs(
+        "slots", "bg", "link", "seed", "value", "addr", "sink"
+    )
+    with b.subroutine("produce", link):
+        # The producer chain lives in this function.
+        b.op(Opcode.MOV, value, seed)
+        b.op(Opcode.MUL, value, value, 37)
+        b.op(Opcode.XOR, value, value, 0x5DEECE66D)
+    b.li(r_slots, slots)
+    b.li(r_bg, bg)
+    b.li(sink, 0)
+    with b.loop("i", 0, 10) as i:
+        b.mul(seed, i, 2654435761)
+        b.call("produce", link)
+        b.st(value, r_slots)
+        with b.loop("j", 0, 6) as j:
+            b.add(addr, j, i)
+            b.op(Opcode.AND, addr, addr, 63)
+            b.add(addr, addr, r_bg)
+            b.ld(addr, addr)
+            b.add(sink, sink, addr)
+        b.ld(value, r_slots)
+        b.add(sink, sink, value)
+    program = b.build()
+    model = make_model()
+    compilation = compile_amnesic(program, model)
+    assert compilation.rslices, "the cross-function slice was not found"
+    (rslice,) = compilation.rslices
+    # The slice's producer pcs lie inside the subroutine body (the
+    # three compute instructions right after the entry label).
+    subroutine_entry = program.pc_of("produce")
+    body = range(subroutine_entry, subroutine_entry + 3)
+    assert any(node.pc in body for node in rslice.root.walk())
+    # And it runs correctly end to end.
+    amnesic = run_amnesic(compilation, "Compiler", model, verify=True)
+    classic = run_classic(program, model)
+    assert amnesic.cpu.memory.snapshot() == classic.cpu.memory.snapshot()
+    assert amnesic.stats.recomputations_fired > 0

@@ -1,0 +1,137 @@
+"""Static program validation: every violation class is caught."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.isa import (
+    HistRef,
+    Imm,
+    Opcode,
+    Program,
+    Reg,
+    SReg,
+    SliceRegion,
+    alu,
+    branch,
+    halt,
+    li,
+    load,
+    rcmp,
+    rtn,
+    validate_program,
+)
+
+
+def minimal_valid_amnesic_program() -> Program:
+    program = Program("valid")
+    program.append(li(Reg(1), 5))
+    program.append(rcmp(Reg(2), Reg(1), 0, slice_id=0, target="rslice_0"))
+    program.append(halt())
+    program.add_label("rslice_0", 3)
+    program.append(alu(Opcode.LI, SReg(0), Imm(7)))
+    program.append(rtn(0, SReg(0)))
+    program.register_slice(
+        SliceRegion(slice_id=0, entry_label="rslice_0", start=3, end=5, load_pc=1)
+    )
+    return program
+
+
+def test_valid_program_passes():
+    validate_program(minimal_valid_amnesic_program())
+
+
+def test_dangling_branch_target():
+    program = Program()
+    program.append(branch(Opcode.BEQ, Reg(1), Imm(0), "nowhere"))
+    program.append(halt())
+    with pytest.raises(ValidationError, match="undefined target"):
+        validate_program(program)
+
+
+def test_label_out_of_range():
+    program = Program()
+    program.append(halt())
+    program.add_label("far", 99)
+    with pytest.raises(ValidationError, match="outside program"):
+        validate_program(program)
+
+
+def test_slice_must_end_with_rtn():
+    program = minimal_valid_amnesic_program()
+    program.slices[0].end = 4  # now "ends" on the LI
+    with pytest.raises(ValidationError, match="does not end with RTN"):
+        validate_program(program)
+
+
+def test_slice_rejects_memory_instructions():
+    program = Program()
+    program.append(rcmp(Reg(2), Reg(1), 0, slice_id=0, target="rslice_0"))
+    program.append(halt())
+    program.add_label("rslice_0", 2)
+    program.append(load(Reg(3), Reg(1), 0))
+    program.append(rtn(0, SReg(0)))
+    program.register_slice(
+        SliceRegion(slice_id=0, entry_label="rslice_0", start=2, end=4, load_pc=0)
+    )
+    with pytest.raises(ValidationError, match="non-compute"):
+        validate_program(program)
+
+
+def test_slice_instructions_must_write_scratch():
+    program = Program()
+    program.append(rcmp(Reg(2), Reg(1), 0, slice_id=0, target="rslice_0"))
+    program.append(halt())
+    program.add_label("rslice_0", 2)
+    program.append(alu(Opcode.LI, Reg(3), Imm(1)))
+    program.append(rtn(0, SReg(0)))
+    program.register_slice(
+        SliceRegion(slice_id=0, entry_label="rslice_0", start=2, end=4, load_pc=0)
+    )
+    with pytest.raises(ValidationError, match="scratch register"):
+        validate_program(program)
+
+
+def test_scratch_operands_forbidden_outside_slices():
+    program = Program()
+    program.append(alu(Opcode.ADD, SReg(0), Imm(1), Imm(2)))
+    program.append(halt())
+    with pytest.raises(ValidationError, match="outside a slice"):
+        validate_program(program)
+
+
+def test_hist_operands_forbidden_outside_slices():
+    program = Program()
+    program.append(alu(Opcode.ADD, Reg(1), HistRef(0, 0), Imm(2)))
+    program.append(halt())
+    with pytest.raises(ValidationError, match="outside a slice"):
+        validate_program(program)
+
+
+def test_rcmp_must_reference_registered_slice():
+    program = Program()
+    program.append(rcmp(Reg(2), Reg(1), 0, slice_id=9, target="x"))
+    program.add_label("x", 0)
+    program.append(halt())
+    with pytest.raises(ValidationError, match="unknown"):
+        validate_program(program)
+
+
+def test_rcmp_target_must_match_slice_entry():
+    program = minimal_valid_amnesic_program()
+    program.add_label("elsewhere", 2)
+    bad = rcmp(Reg(2), Reg(1), 0, slice_id=0, target="elsewhere")
+    program.instructions[1] = bad
+    with pytest.raises(ValidationError, match="does not match slice"):
+        validate_program(program)
+
+
+def test_overlapping_slices_rejected():
+    program = minimal_valid_amnesic_program()
+    program.append(alu(Opcode.LI, SReg(0), Imm(1)))
+    program.append(rtn(1, SReg(0)))
+    program.add_label("rslice_1", 4)
+    program.slices[1] = SliceRegion(
+        slice_id=1, entry_label="rslice_1", start=4, end=7, load_pc=1
+    )
+    with pytest.raises(ValidationError):
+        validate_program(program)

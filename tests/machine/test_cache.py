@@ -1,0 +1,116 @@
+"""Set-associative LRU cache model, including a reference-model property."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import Cache, CacheGeometry
+
+
+def small_cache(lines=4, ways=2, line_words=4):
+    return Cache(CacheGeometry(total_lines=lines, associativity=ways,
+                               line_words=line_words))
+
+
+def test_geometry_validation():
+    with pytest.raises(ValueError):
+        CacheGeometry(total_lines=3, associativity=2)
+    with pytest.raises(ValueError):
+        CacheGeometry(total_lines=4, associativity=2, line_words=3)
+    with pytest.raises(ValueError):
+        CacheGeometry(total_lines=0, associativity=1)
+
+
+def test_line_mapping():
+    cache = small_cache(line_words=4)
+    assert cache.line_address(0) == cache.line_address(3)
+    assert cache.line_address(3) != cache.line_address(4)
+
+
+def test_miss_then_hit_after_fill():
+    cache = small_cache()
+    assert not cache.lookup(0)
+    cache.fill(0)
+    assert cache.lookup(0)
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 1
+
+
+def test_lru_eviction_order():
+    cache = small_cache(lines=4, ways=2)  # 2 sets
+    # Addresses mapping to set 0: line addresses 0, 2, 4 (even).
+    cache.fill(0 * 4)
+    cache.fill(2 * 4)
+    cache.lookup(0 * 4)  # promote line 0 to MRU
+    evicted = cache.fill(4 * 4)
+    assert evicted is not None
+    assert evicted.line_address == 2  # line 2 was LRU
+
+
+def test_dirty_writeback_counted():
+    cache = small_cache(lines=4, ways=2)
+    cache.fill(0, dirty=True)
+    cache.fill(2 * 4)
+    evicted = cache.fill(4 * 4)
+    assert evicted.dirty
+    assert cache.stats.writebacks == 1
+
+
+def test_probe_has_no_lru_side_effect():
+    cache = small_cache(lines=4, ways=2)
+    cache.fill(0 * 4)
+    cache.fill(2 * 4)
+    cache.probe(0 * 4)  # would promote under lookup(); must not here
+    evicted = cache.fill(4 * 4)
+    assert evicted.line_address == 0  # still LRU despite the probe
+    assert cache.stats.probes == 1
+    assert cache.stats.hits == 0
+
+
+def test_contains_is_pure():
+    cache = small_cache()
+    cache.fill(0)
+    before = cache.stats.probes
+    assert cache.contains(0)
+    assert cache.stats.probes == before
+
+
+def test_mark_dirty_and_invalidate():
+    cache = small_cache()
+    cache.fill(0)
+    cache.mark_dirty(0)
+    assert cache.resident_lines()[cache.line_address(0)] is True
+    assert cache.invalidate(0)
+    assert not cache.contains(0)
+    assert not cache.invalidate(0)
+
+
+def test_fill_existing_line_keeps_dirty_bit():
+    cache = small_cache()
+    cache.fill(0, dirty=True)
+    cache.fill(0, dirty=False)
+    assert cache.resident_lines()[cache.line_address(0)] is True
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 63), st.booleans()), max_size=200))
+def test_matches_reference_lru_model(accesses):
+    """The cache must agree with a straightforward reference LRU model."""
+    geometry = CacheGeometry(total_lines=8, associativity=2, line_words=4)
+    cache = Cache(geometry)
+    reference = {s: [] for s in range(geometry.sets)}  # set -> [line,...] LRU order
+
+    for address, dirty in accesses:
+        line = address >> 2
+        set_index = line % geometry.sets
+        expected_hit = line in reference[set_index]
+        assert cache.lookup(address) == expected_hit
+        cache.fill(address, dirty=dirty)
+        if expected_hit:
+            reference[set_index].remove(line)
+        elif len(reference[set_index]) >= geometry.associativity:
+            reference[set_index].pop(0)
+        reference[set_index].append(line)
+
+    resident = set(cache.resident_lines())
+    assert resident == {line for lines in reference.values() for line in lines}

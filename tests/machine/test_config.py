@@ -1,0 +1,54 @@
+"""Machine configuration invariants."""
+
+import pytest
+
+from repro.machine import CacheGeometry, Level, default_config, paper_geometry
+
+
+def test_paper_geometry_matches_table3():
+    config = paper_geometry()
+    assert config.l1_geometry.capacity_words * 8 == 32 * 1024  # 32KB
+    assert config.l2_geometry.capacity_words * 8 == 512 * 1024  # 512KB
+    assert config.l1_params.read_energy_nj == 0.88
+    assert config.l2_params.read_energy_nj == 7.72
+    assert config.mem_params.read_energy_nj == 52.14
+    assert config.mem_params.write_energy_nj == 62.14
+    assert config.frequency_ghz == 1.09
+
+
+def test_default_config_preserves_energies():
+    config = default_config()
+    paper = paper_geometry()
+    assert config.l1_params == paper.l1_params
+    assert config.l2_params == paper.l2_params
+    assert config.mem_params == paper.mem_params
+    # Scaled geometry keeps the ratio-of-16 between L2 and L1 overall size.
+    assert config.l2_geometry.total_lines // config.l1_geometry.total_lines == 8
+
+
+def test_cumulative_load_energy():
+    config = paper_geometry()
+    assert config.load_energy_nj(Level.L1) == 0.88
+    assert config.load_energy_nj(Level.L2) == 0.88 + 7.72
+    assert config.load_energy_nj(Level.MEM) == 0.88 + 7.72 + 52.14
+
+
+def test_load_latency_per_level():
+    config = paper_geometry()
+    assert config.load_latency_ns(Level.L1) == 3.66
+    assert config.load_latency_ns(Level.L2) == 24.77
+    assert config.load_latency_ns(Level.MEM) == 100.0
+
+
+def test_cycle_time():
+    assert abs(paper_geometry().cycle_ns - 1 / 1.09) < 1e-12
+
+
+def test_level_depth_ordering():
+    assert Level.L1.depth < Level.L2.depth < Level.MEM.depth
+
+
+def test_geometry_sets():
+    geometry = CacheGeometry(total_lines=16, associativity=4)
+    assert geometry.sets == 4
+    assert geometry.capacity_words == 128

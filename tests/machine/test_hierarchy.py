@@ -1,0 +1,104 @@
+"""Memory hierarchy walk/fill/probe/residence semantics."""
+
+from repro.machine import Level, MemoryHierarchy
+
+from ..conftest import tiny_config
+
+
+def make_hierarchy():
+    return MemoryHierarchy(tiny_config())
+
+
+def test_first_access_serviced_by_memory():
+    hierarchy = make_hierarchy()
+    access = hierarchy.load(0x100)
+    assert access.level is Level.MEM
+    # Cumulative energy: L1 lookup + L2 access + DRAM read.
+    assert access.energy_nj == 0.88 + 7.72 + 52.14
+    assert access.latency_ns == 100.0
+
+
+def test_second_access_hits_l1():
+    hierarchy = make_hierarchy()
+    hierarchy.load(0x100)
+    access = hierarchy.load(0x100)
+    assert access.level is Level.L1
+    assert access.energy_nj == 0.88
+    assert access.latency_ns == 3.66
+
+
+def test_l2_hit_after_l1_eviction():
+    hierarchy = make_hierarchy()
+    hierarchy.load(0x100)
+    # Evict from L1 (4 lines, 2-way, line_words=4) with conflicting lines.
+    for index in range(1, 5):
+        hierarchy.load(0x100 + index * 8)  # same set, different lines
+    access = hierarchy.load(0x100)
+    assert access.level is Level.L2
+    assert access.energy_nj == 0.88 + 7.72
+
+
+def test_store_write_allocates_and_dirties():
+    hierarchy = make_hierarchy()
+    access = hierarchy.store(0x100)
+    assert access.is_store
+    assert access.level is Level.MEM
+    # Later eviction of the dirty line must add write-back energy.
+    for index in range(1, 6):
+        hierarchy.load(0x100 + index * 8)
+    assert hierarchy.stats.writeback_energy_nj > 0
+
+
+def test_load_fractions():
+    hierarchy = make_hierarchy()
+    hierarchy.load(0x100)
+    hierarchy.load(0x100)
+    fractions = hierarchy.stats.load_fractions()
+    assert fractions[Level.MEM] == 0.5
+    assert fractions[Level.L1] == 0.5
+
+
+def test_probe_levels_and_costs():
+    hierarchy = make_hierarchy()
+    hierarchy.load(0x100)
+    assert hierarchy.probe(0x100, through=Level.L1) is Level.L1
+    assert hierarchy.probe(0x999000, through=Level.L1) is None
+    assert hierarchy.probe(0x999000, through=Level.L2) is None
+    flc_cost = hierarchy.probe_cost(None, through=Level.L1)
+    llc_cost = hierarchy.probe_cost(None, through=Level.L2)
+    assert flc_cost.energy_nj == 0.88
+    assert llc_cost.energy_nj == 0.88 + 7.72
+    assert llc_cost.latency_ns > flc_cost.latency_ns
+
+
+def test_probe_does_not_fill():
+    hierarchy = make_hierarchy()
+    assert hierarchy.probe(0x200, through=Level.L2) is None
+    assert hierarchy.residence(0x200) is Level.MEM
+
+
+def test_residence_is_side_effect_free():
+    hierarchy = make_hierarchy()
+    hierarchy.load(0x100)
+    before_hits = hierarchy.l1.stats.hits
+    assert hierarchy.residence(0x100) is Level.L1
+    assert hierarchy.l1.stats.hits == before_hits
+
+
+def test_l1_eviction_writes_back_into_l2():
+    hierarchy = make_hierarchy()
+    hierarchy.store(0x100)
+    for index in range(1, 5):
+        hierarchy.load(0x100 + index * 8)
+    # The dirty line must now live in L2.
+    assert hierarchy.residence(0x100) is Level.L2
+
+
+def test_llc_probe_that_stops_at_l1_costs_one_lookup():
+    """Probing through L2 but hitting L1 pays only the L1 lookup."""
+    hierarchy = make_hierarchy()
+    hierarchy.load(0x100)
+    found = hierarchy.probe(0x100, through=Level.L2)
+    assert found is Level.L1
+    cost = hierarchy.probe_cost(found, through=Level.L2)
+    assert cost.energy_nj == 0.88

@@ -1,0 +1,48 @@
+"""Run-statistics bookkeeping."""
+
+from repro.isa import Category
+from repro.machine import Level, RunStats
+
+
+def test_count_instruction():
+    stats = RunStats()
+    stats.count_instruction(Category.INT_ALU)
+    stats.count_instruction(Category.INT_ALU)
+    stats.count_instruction(Category.LOAD)
+    assert stats.dynamic_instructions == 3
+    assert stats.by_category[Category.INT_ALU] == 2
+    assert stats.compute_count == 2
+
+
+def test_swapped_load_profile():
+    stats = RunStats()
+    stats.count_swapped_load(Level.L1)
+    stats.count_swapped_load(Level.MEM)
+    stats.count_swapped_load(Level.MEM)
+    profile = stats.swapped_load_profile()
+    assert profile[Level.L1] == 1 / 3
+    assert profile[Level.MEM] == 2 / 3
+    assert stats.recomputations_fired == 3
+
+
+def test_empty_profile_is_zero():
+    profile = RunStats().swapped_load_profile()
+    assert all(value == 0.0 for value in profile.values())
+
+
+def test_merge_accumulates_everything():
+    a = RunStats()
+    a.count_instruction(Category.INT_ALU)
+    a.loads_performed = 3
+    a.recomputation_aborts = 1
+    a.count_swapped_load(Level.L2)
+    b = RunStats()
+    b.count_instruction(Category.FP_MUL)
+    b.loads_performed = 2
+    b.hist_reads = 7
+    a.merge(b)
+    assert a.dynamic_instructions == 2
+    assert a.loads_performed == 5
+    assert a.hist_reads == 7
+    assert a.recomputation_aborts == 1
+    assert a.swapped_load_levels[Level.L2] == 1

@@ -1,0 +1,51 @@
+"""Property: amnesic binaries survive the assembler round-trip.
+
+The rewritten binary (RCMP/REC/RTN, slice regions, scratch and Hist
+operands) must serialise to text and parse back into a program that
+executes identically — this is what makes the compiler's output a real
+binary artifact rather than an in-memory structure.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import compile_amnesic
+from repro.compiler.annotate import AmnesicBinary
+from repro.core import AmnesicCPU, make_policy
+from repro.energy import EPITable, EnergyModel
+from repro.isa import parse, serialise
+
+from ..conftest import build_spill_kernel, tiny_config
+
+
+def make_model():
+    return EnergyModel(epi=EPITable.default(), config=tiny_config())
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    iterations=st.integers(min_value=4, max_value=12),
+    chain=st.integers(min_value=1, max_value=6),
+    gap=st.integers(min_value=0, max_value=8),
+)
+def test_amnesic_binary_roundtrips_and_runs_identically(iterations, chain, gap):
+    model = make_model()
+    program = build_spill_kernel(iterations=iterations, chain=chain, gap=gap)
+    compilation = compile_amnesic(program, model)
+
+    reparsed = parse(serialise(compilation.binary.program))
+    rebuilt = AmnesicBinary(program=reparsed, slices=compilation.binary.slices)
+
+    original_cpu = AmnesicCPU(compilation.binary, model, make_policy("Compiler"))
+    original_cpu.run()
+    reparsed_cpu = AmnesicCPU(rebuilt, model, make_policy("Compiler"))
+    reparsed_cpu.run()
+
+    assert reparsed_cpu.memory.snapshot() == original_cpu.memory.snapshot()
+    assert reparsed_cpu.registers == original_cpu.registers
+    assert (
+        reparsed_cpu.stats.recomputations_fired
+        == original_cpu.stats.recomputations_fired
+    )
+    assert reparsed_cpu.account.total_energy_nj == original_cpu.account.total_energy_nj

@@ -1,0 +1,50 @@
+"""Trace persistence round-trips."""
+
+from repro.compiler import TemplateExtractor
+from repro.energy import EPITable, EnergyModel
+from repro.machine import CPU
+from repro.trace import DependenceTracker
+from repro.trace.io import dump_trace, load_trace
+
+from ..conftest import build_spill_kernel, tiny_config
+
+
+def traced_kernel():
+    program = build_spill_kernel(iterations=8, chain=3, gap=4)
+    tracker = DependenceTracker()
+    CPU(program, EnergyModel(epi=EPITable.default(), config=tiny_config()),
+        tracer=tracker).run()
+    return program, tracker
+
+
+def test_roundtrip_preserves_records(tmp_path):
+    _, tracker = traced_kernel()
+    path = dump_trace(tracker, tmp_path / "trace.jsonl")
+    loaded = load_trace(path)
+    assert len(loaded) == len(tracker)
+    for original, reloaded in zip(tracker.records, loaded.records):
+        assert original == reloaded
+
+
+def test_compiler_runs_on_reloaded_trace(tmp_path):
+    """Template extraction over a reloaded trace equals the live one."""
+    program, tracker = traced_kernel()
+    path = dump_trace(tracker, tmp_path / "trace.jsonl")
+    loaded = load_trace(path)
+    for load_pc in program.static_loads():
+        live = TemplateExtractor(tracker).extract(load_pc)
+        replayed = TemplateExtractor(loaded).extract(load_pc)
+        if live is None:
+            assert replayed is None
+        else:
+            assert replayed is not None
+            assert (
+                replayed.tree.structural_signature()
+                == live.tree.structural_signature()
+            )
+
+
+def test_dump_creates_parent_dirs(tmp_path):
+    _, tracker = traced_kernel()
+    target = dump_trace(tracker, tmp_path / "deep" / "dir" / "t.jsonl")
+    assert target.exists()

@@ -1,0 +1,17 @@
+"""The combined profiling runner."""
+
+from repro.trace import profile_program
+
+from ..conftest import build_spill_kernel, tiny_config
+from repro.energy import EPITable, EnergyModel
+
+
+def test_profile_program_combines_all_tracers():
+    program = build_spill_kernel(iterations=6, gap=4)
+    model = EnergyModel(epi=EPITable.default(), config=tiny_config())
+    result = profile_program(program, model)
+    assert result.dynamic_instructions > 0
+    assert len(result.dependence) == result.dynamic_instructions
+    assert result.loads.observed_loads()
+    assert result.locality.observed_loads()
+    assert result.stats.loads_performed > 0

@@ -1,0 +1,68 @@
+"""Organic algorithm kernels: functional correctness + amnesic invariance."""
+
+import pytest
+
+from repro.compiler import compile_amnesic
+from repro.core.execution import run_amnesic, run_classic
+from repro.energy import EPITable, EnergyModel
+from repro.machine import CPU
+from repro.workloads.kernels.algorithms import ALGORITHMS
+
+from ..conftest import tiny_config
+
+
+def make_model():
+    return EnergyModel(epi=EPITable.default(), config=tiny_config())
+
+
+@pytest.mark.parametrize("name", sorted(ALGORITHMS))
+def test_functional_output_matches_reference(name):
+    """The interpreter computes what the Python reference computes."""
+    program, result_base, expected = ALGORITHMS[name]()
+    cpu = CPU(program, make_model())
+    cpu.run()
+    measured = cpu.memory.read_block(result_base, len(expected))
+    assert [float(v) for v in measured] == pytest.approx(expected)
+
+
+@pytest.mark.parametrize("name", sorted(ALGORITHMS))
+def test_amnesic_execution_preserves_output(name):
+    """Whatever the compiler swapped, the outputs must not change."""
+    program, result_base, expected = ALGORITHMS[name]()
+    model = make_model()
+    compilation = compile_amnesic(program, model)
+    amnesic = run_amnesic(compilation, "Compiler", model, verify=True)
+    measured = amnesic.cpu.memory.read_block(result_base, len(expected))
+    assert [float(v) for v in measured] == pytest.approx(expected)
+    classic = run_classic(program, model)
+    assert amnesic.cpu.memory.snapshot() == classic.cpu.memory.snapshot()
+
+
+def test_loop_carried_algorithms_are_refused():
+    """Fibonacci/histogram chains are loop-carried: the compiler must
+    reject them rather than produce wrong recomputation."""
+    model = make_model()
+    for name in ("fibonacci", "histogram"):
+        program, _, _ = ALGORITHMS[name]()
+        compilation = compile_amnesic(program, model)
+        for rslice in compilation.rslices:
+            # No slice may checkpoint a swapped load (self-reference).
+            assert rslice.load_pc not in {
+                node.pc for node in rslice.root.walk() if node.is_checkpoint_load
+            }
+
+
+def test_fibonacci_values_are_exact():
+    program, base, expected = ALGORITHMS["fibonacci"]()
+    cpu = CPU(program, make_model())
+    cpu.run()
+    assert cpu.memory.read(base + 31) == 1346269  # fib(31)
+
+
+def test_normalize_finds_the_loop_invariant_swap():
+    """The spilled scale factor is organically swappable."""
+    program, _, _ = ALGORITHMS["normalize"]()
+    compilation = compile_amnesic(program, make_model())
+    assert len(compilation.rslices) >= 1
+    amnesic = run_amnesic(compilation, "Compiler", make_model(), verify=True)
+    assert amnesic.stats.recomputations_fired > 0

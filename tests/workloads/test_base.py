@@ -1,0 +1,68 @@
+"""Workload registry and spec behaviour."""
+
+import pytest
+
+from repro.workloads import (
+    CalibrationTargets,
+    WorkloadRegistry,
+    WorkloadSpec,
+)
+from repro.isa import Program
+
+
+def make_spec(name="k"):
+    return WorkloadSpec(
+        name=name, suite="TEST", description="test kernel",
+        build=lambda scale: Program(name),
+    )
+
+
+def test_register_and_get():
+    registry = WorkloadRegistry()
+    spec = registry.register(make_spec())
+    assert registry.get("k") is spec
+    assert len(registry) == 1
+
+
+def test_duplicate_rejected():
+    registry = WorkloadRegistry()
+    registry.register(make_spec())
+    with pytest.raises(ValueError):
+        registry.register(make_spec())
+
+
+def test_unknown_name_lists_known():
+    registry = WorkloadRegistry()
+    registry.register(make_spec())
+    with pytest.raises(KeyError, match="known"):
+        registry.get("missing")
+
+
+def test_names_filtering():
+    registry = WorkloadRegistry()
+    registry.register(make_spec("a"))
+    responsive = WorkloadSpec(
+        name="b", suite="OTHER", description="d",
+        build=lambda scale: Program("b"), responsive=True,
+    )
+    registry.register(responsive)
+    assert registry.names() == ["a", "b"]
+    assert registry.names(suite="OTHER") == ["b"]
+    assert registry.names(responsive_only=True) == ["b"]
+
+
+def test_instantiate_rejects_bad_scale():
+    spec = make_spec()
+    with pytest.raises(ValueError):
+        spec.instantiate(0)
+    with pytest.raises(ValueError):
+        spec.instantiate(-1)
+
+
+def test_calibration_targets_fields():
+    targets = CalibrationTargets(
+        swapped_levels=(50.0, 20.0, 30.0), max_slice_length=10,
+        nonrecomputable_majority=True, high_value_locality=False,
+    )
+    assert targets.swapped_levels[2] == 30.0
+    assert targets.edp_gain_compiler_percent is None

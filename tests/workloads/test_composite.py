@@ -1,0 +1,94 @@
+"""Composite kernel construction and execution."""
+
+import pytest
+
+from repro.energy import paper_energy_model
+from repro.isa import validate_program
+from repro.machine import CPU
+from repro.workloads import KernelParams, RegionSpec, build_composite
+
+
+def small_params(**overrides):
+    base = dict(
+        phases=3,
+        region_specs=(
+            RegionSpec(words=64, sites=2, repeats=2, chain_length=2,
+                       nc_leaves=True, refill_every=1),
+        ),
+        input_words=64,
+        stream_reads=4,
+    )
+    base.update(overrides)
+    return KernelParams(**base)
+
+
+def test_composite_builds_and_validates():
+    program = build_composite("t", small_params())
+    validate_program(program)
+
+
+def test_composite_runs():
+    program = build_composite("t", small_params())
+    cpu = CPU(program, paper_energy_model())
+    cpu.run()
+    assert cpu.stats.loads_performed > 0
+    assert cpu.stats.stores_performed > 0
+
+
+def test_scale_changes_phase_count_only():
+    small = build_composite("t", small_params(), scale=1.0)
+    large = build_composite("t", small_params(), scale=2.0)
+    assert len(small.instructions) == len(large.instructions)
+    # More phases -> more dynamic work.
+    cpu_small = CPU(small, paper_energy_model())
+    cpu_small.run()
+    cpu_large = CPU(large, paper_energy_model())
+    cpu_large.run()
+    assert cpu_large.stats.dynamic_instructions > cpu_small.stats.dynamic_instructions
+
+
+def test_nc_leaves_requires_input():
+    params = small_params(input_words=0, stream_reads=0)
+    with pytest.raises(ValueError):
+        build_composite("t", params)
+
+
+def test_constant_fill_regions_need_no_input():
+    params = KernelParams(
+        phases=2,
+        region_specs=(
+            RegionSpec(words=64, sites=2, repeats=2, chain_length=1,
+                       nc_leaves=False, refill_every=1, fill_constant=5),
+        ),
+    )
+    program = build_composite("t", params)
+    cpu = CPU(program, paper_energy_model())
+    cpu.run()
+
+
+def test_spill_component():
+    params = KernelParams(
+        phases=2,
+        spill_iterations=4,
+        spill_chain_length=3,
+        spill_gap_reads=4,
+        input_words=64,
+    )
+    program = build_composite("t", params)
+    cpu = CPU(program, paper_energy_model())
+    cpu.run()
+    assert cpu.stats.stores_performed >= 8  # one spill per iteration
+
+
+def test_chase_and_compute_components():
+    params = KernelParams(
+        phases=2,
+        chase_nodes=64,
+        chase_steps=8,
+        compute_iterations=4,
+        compute_ops=3,
+    )
+    program = build_composite("t", params)
+    cpu = CPU(program, paper_energy_model())
+    cpu.run()
+    assert cpu.stats.loads_performed >= 16

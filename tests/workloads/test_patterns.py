@@ -1,0 +1,159 @@
+"""Pattern emitters produce valid, runnable code."""
+
+import pytest
+
+from repro.energy import EPITable, EnergyModel
+from repro.isa import ProgramBuilder
+from repro.machine import CPU
+from repro.workloads.kernels.patterns import (
+    PatternRegs,
+    allocate_chase_input,
+    allocate_input,
+    allocate_region,
+    emit_compute_block,
+    emit_constant_fill,
+    emit_pointer_chase,
+    emit_region_fill,
+    emit_scatter_reads,
+    emit_seed_from_memory,
+    emit_stream_reads,
+    emit_value_chain,
+)
+
+from ..conftest import tiny_config
+
+
+def run(builder):
+    program = builder.build()
+    cpu = CPU(program, EnergyModel(epi=EPITable.default(), config=tiny_config()))
+    cpu.run()
+    return cpu, program
+
+
+def test_value_chain_varies_with_seed():
+    b = ProgramBuilder()
+    regs = PatternRegs.allocate(b)
+    out = b.reserve(2)
+    r_out = b.reg("out")
+    b.li(r_out, out)
+    b.li(regs.seed, 1)
+    emit_value_chain(b, regs, length=4)
+    b.st(regs.chain, r_out)
+    b.li(regs.seed, 2)
+    emit_value_chain(b, regs, length=4)
+    b.st(regs.chain, r_out, offset=1)
+    cpu, _ = run(b)
+    assert cpu.memory.read(out) != cpu.memory.read(out + 1)
+
+
+def test_value_chain_rejects_zero_length():
+    b = ProgramBuilder()
+    regs = PatternRegs.allocate(b)
+    with pytest.raises(ValueError):
+        emit_value_chain(b, regs, length=0)
+
+
+def test_region_fill_writes_every_word():
+    b = ProgramBuilder()
+    regs = PatternRegs.allocate(b)
+    region = allocate_region(b, "r", 16)
+    b.li(regs.seed, 3)
+    emit_value_chain(b, regs, length=2)
+    emit_region_fill(b, regs, region, counter="f")
+    cpu, _ = run(b)
+    values = {cpu.memory.read(region.base + i) for i in range(16)}
+    assert len(values) == 1  # phase-constant
+
+
+def test_constant_fill():
+    b = ProgramBuilder()
+    regs = PatternRegs.allocate(b)
+    region = allocate_region(b, "r", 8)
+    emit_constant_fill(b, regs, region, 42, counter="f")
+    cpu, _ = run(b)
+    assert all(cpu.memory.read(region.base + i) == 42 for i in range(8))
+
+
+def test_region_size_must_be_power_of_two():
+    b = ProgramBuilder()
+    with pytest.raises(ValueError):
+        allocate_region(b, "bad", 24)
+    with pytest.raises(ValueError):
+        allocate_input(b, "bad", 24)
+    with pytest.raises(ValueError):
+        allocate_chase_input(b, "bad", 24)
+
+
+def test_scatter_reads_emit_requested_sites():
+    from repro.isa import Opcode
+
+    b = ProgramBuilder()
+    regs = PatternRegs.allocate(b)
+    region = allocate_region(b, "r", 16)
+    emit_constant_fill(b, regs, region, 1, counter="f")
+    b.li(regs.lcg, 7)
+    b.li(regs.sink, 0)
+    emit_scatter_reads(b, regs, region, sites=3, repeats=2, counter="s")
+    cpu, program = run(b)
+    loads = [i for i in program if i.opcode is Opcode.LD]
+    assert len(loads) == 3
+    assert cpu.stats.loads_performed == 6
+
+
+def test_scatter_hot_cold_requires_cold_every():
+    b = ProgramBuilder()
+    regs = PatternRegs.allocate(b)
+    region = allocate_region(b, "r", 16)
+    with pytest.raises(ValueError):
+        emit_scatter_reads(b, regs, region, sites=1, repeats=1, counter="s",
+                           hot_mask=3, cold_every=0)
+
+
+def test_pointer_chase_visits_nodes():
+    b = ProgramBuilder()
+    regs = PatternRegs.allocate(b)
+    chase = allocate_chase_input(b, "c", 16)
+    cursor = b.reg("cursor")
+    b.li(cursor, 1)
+    b.li(regs.sink, 0)
+    emit_pointer_chase(b, regs, chase, steps=8, counter="p", cursor=cursor)
+    cpu, _ = run(b)
+    assert cpu.stats.loads_performed == 8
+
+
+def test_stream_reads_with_offset():
+    b = ProgramBuilder()
+    regs = PatternRegs.allocate(b)
+    source = allocate_input(b, "s", 64)
+    offset = b.reg("off")
+    b.li(offset, 32)
+    b.li(regs.sink, 0)
+    emit_stream_reads(b, regs, source, count=4, counter="s", stride=2,
+                      offset_reg=offset)
+    cpu, _ = run(b)
+    assert cpu.stats.loads_performed == 4
+
+
+def test_seed_from_memory_loads_input():
+    b = ProgramBuilder()
+    regs = PatternRegs.allocate(b)
+    source = allocate_input(b, "s", 8)
+    index = b.reg("idx")
+    b.li(index, 3)
+    emit_seed_from_memory(b, regs, source, index)
+    out = b.reserve(1)
+    r_out = b.reg("out")
+    b.li(r_out, out)
+    b.st(regs.seed, r_out)
+    cpu, _ = run(b)
+    assert cpu.memory.read(out) == cpu.memory.read(source.base + 3)
+
+
+def test_compute_block_is_memory_free():
+    b = ProgramBuilder()
+    regs = PatternRegs.allocate(b)
+    b.li(regs.sink, 5)
+    emit_compute_block(b, regs, iterations=4, ops_per_iteration=3, counter="c")
+    cpu, _ = run(b)
+    assert cpu.stats.loads_performed == 0
+    assert cpu.stats.stores_performed == 0

@@ -1,0 +1,71 @@
+"""The 33-benchmark suite: structure and calibration flags."""
+
+import pytest
+
+from repro import compile_amnesic, paper_energy_model
+from repro.isa import validate_program
+from repro.machine import CPU
+from repro.workloads import RESPONSIVE, all_specs, get, responsive_specs
+
+
+def test_suite_has_33_benchmarks():
+    """Paper Table 2 lists 33 benchmarks across four suites."""
+    specs = all_specs()
+    assert len(specs) == 33
+    by_suite = {}
+    for spec in specs:
+        by_suite.setdefault(spec.suite, []).append(spec.name)
+    assert len(by_suite["SPEC"]) == 10
+    assert len(by_suite["NAS"]) == 4
+    assert len(by_suite["PARSEC"]) == 12
+    assert len(by_suite["Rodinia"]) == 7
+
+
+def test_responsive_set_matches_paper():
+    assert len(RESPONSIVE) == 11
+    assert set(RESPONSIVE) == {spec.name for spec in responsive_specs()}
+    for spec in responsive_specs():
+        assert spec.responsive
+        assert spec.calibration is not None
+
+
+@pytest.mark.parametrize("name", [spec.name for spec in all_specs()])
+def test_every_benchmark_builds_and_validates(name):
+    program = get(name).instantiate(0.25)
+    validate_program(program)
+
+
+@pytest.mark.parametrize("name", RESPONSIVE)
+def test_responsive_benchmarks_run_at_tiny_scale(name):
+    program = get(name).instantiate(0.25)
+    cpu = CPU(program, paper_energy_model())
+    cpu.run()
+    assert cpu.stats.loads_performed > 0
+
+
+def test_unknown_benchmark_raises():
+    with pytest.raises(KeyError):
+        get("not_a_benchmark")
+
+
+@pytest.mark.integration
+@pytest.mark.parametrize("name", ["is", "bfs", "sr"])
+def test_calibration_nc_flags(name):
+    """Figure 7 majority flags hold for the flagship benchmarks."""
+    spec = get(name)
+    program = spec.instantiate(1.0)
+    result = compile_amnesic(program, paper_energy_model())
+    assert result.rslices
+    with_nc = sum(1 for rs in result.rslices if rs.has_nonrecomputable_inputs)
+    majority = with_nc > len(result.rslices) / 2
+    assert majority == spec.calibration.nonrecomputable_majority
+
+
+@pytest.mark.integration
+@pytest.mark.parametrize("name", ["is", "bfs", "sr", "mcf"])
+def test_calibration_slice_lengths(name):
+    spec = get(name)
+    program = spec.instantiate(1.0)
+    result = compile_amnesic(program, paper_energy_model())
+    for rslice in result.rslices:
+        assert rslice.length <= spec.calibration.max_slice_length
