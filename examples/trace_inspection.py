@@ -1,0 +1,58 @@
+"""Trace inspection: run one benchmark with telemetry and read the tea
+leaves.
+
+Runs the ``is`` (NAS integer sort) benchmark under the FLC policy with a
+telemetry session capturing spans and per-RCMP decision records, then
+prints:
+
+* the top-5 hottest spans by self time (where the wall clock went
+  across profile -> compile -> execute);
+* the RCMP fire/skip/fallback breakdown per policy;
+* a residence-level histogram of the fired recomputations, rebuilt from
+  the JSONL decision records — the paper's Table 5 question ("where
+  would the swapped load have been serviced?") answered from the trace
+  alone.
+
+Run:  python examples/trace_inspection.py [trace.jsonl]
+"""
+
+import sys
+from collections import Counter
+
+from repro import evaluate_policies, paper_energy_model, telemetry_session
+from repro.telemetry import decision_records, read_events
+from repro.telemetry.summary import render_hottest_spans, render_rcmp_breakdown
+from repro.workloads.suite import get
+
+BENCHMARK = "is"  # one of the paper's 11 responsive benchmarks
+SCALE = 0.5
+
+
+def main() -> None:
+    trace_path = sys.argv[1] if len(sys.argv) > 1 else "trace.jsonl"
+    program = get(BENCHMARK).instantiate(SCALE)
+
+    with telemetry_session(trace_path=trace_path) as telemetry:
+        evaluate_policies(
+            program, policies=("FLC",), model=paper_energy_model()
+        )
+        print(f"{BENCHMARK} (scale {SCALE}) under FLC\n")
+        print(render_hottest_spans(telemetry.tracer.tree(), top=5))
+        print()
+        print(render_rcmp_breakdown(telemetry.registry))
+
+    # The JSONL trace holds one record per dynamic RCMP; recover the
+    # residence profile of the loads that were actually swapped.
+    records = decision_records(read_events(trace_path))
+    fired = [record for record in records if record["outcome"] == "fired"]
+    residences = Counter(record["residence"] for record in fired)
+    print(f"\nfired recomputations by residence level ({len(fired)} total):")
+    for level in ("L1", "L2", "MEM"):
+        count = residences.get(level, 0)
+        share = 100.0 * count / len(fired) if fired else 0.0
+        print(f"  {level:<4} {count:>6}  ({share:.1f}%)")
+    print(f"\nfull trace written to {trace_path}")
+
+
+if __name__ == "__main__":
+    main()

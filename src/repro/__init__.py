@@ -39,6 +39,7 @@ from .energy import EnergyModel, EPITable, paper_energy_model
 from .errors import ReproError
 from .isa import Opcode, Program, ProgramBuilder
 from .machine import CPU, Level, MachineConfig, default_config, paper_geometry
+from .telemetry import Telemetry, get_telemetry, telemetry_session
 from .trace import profile_program
 
 __version__ = "1.0.0"
@@ -70,5 +71,8 @@ __all__ = [
     "profile_program",
     "run_amnesic",
     "run_classic",
+    "Telemetry",
+    "get_telemetry",
+    "telemetry_session",
     "__version__",
 ]

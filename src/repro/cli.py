@@ -4,10 +4,15 @@ Usage (also available as ``python -m repro``)::
 
     repro list [--suite SPEC] [--responsive]
     repro run mcf [--policy FLC | --all-policies] [--scale 1.0]
+    repro stats mcf [--policy FLC] [--scale 1.0]
     repro compile is [--scale 1.0]
     repro disasm bfs [--amnesic] [--limit 40]
     repro experiment fig3 [--scale 1.0]
     repro experiments
+
+Telemetry flags work globally and per-subcommand: ``--trace-out FILE``
+streams span and per-RCMP decision events as JSONL, ``--metrics`` prints
+the metrics registry once the command finishes.
 """
 
 from __future__ import annotations
@@ -23,6 +28,8 @@ from .core.policies import POLICY_NAMES
 from .energy.tech import paper_energy_model
 from .harness.experiments import EXPERIMENTS, run_experiment
 from .harness.runner import SuiteRunner
+from .telemetry.runtime import get_telemetry, telemetry_session
+from .telemetry.summary import render_metrics, render_summary
 from .workloads.suite import REGISTRY, get
 
 
@@ -33,13 +40,49 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command is None:
         parser.print_help()
         return 2
-    return args.handler(args)
+    trace_out = getattr(args, "trace_out", None)
+    metrics = getattr(args, "metrics", False)
+    if not (trace_out or metrics):
+        return args.handler(args)
+    with telemetry_session(trace_path=trace_out) as telemetry:
+        code = args.handler(args)
+        if metrics:
+            print()
+            print(render_metrics(telemetry.registry))
+    if trace_out:
+        print(f"telemetry events written to {trace_out}", file=sys.stderr)
+    return code
+
+
+def _add_telemetry_flags(command: argparse.ArgumentParser) -> None:
+    """Accept the global telemetry flags after the subcommand too.
+
+    ``default=SUPPRESS`` keeps a subcommand that omits the flag from
+    clobbering a value parsed at the top level (``repro --metrics run
+    mcf`` and ``repro run mcf --metrics`` are equivalent).
+    """
+    command.add_argument(
+        "--trace-out", metavar="FILE", default=argparse.SUPPRESS,
+        help="write telemetry events (spans, RCMP decisions) as JSONL",
+    )
+    command.add_argument(
+        "--metrics", action="store_true", default=argparse.SUPPRESS,
+        help="print the metrics registry when the command finishes",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="AMNESIAC (ASPLOS 2017) reproduction toolkit",
+    )
+    parser.add_argument(
+        "--trace-out", metavar="FILE", default=None,
+        help="write telemetry events (spans, RCMP decisions) as JSONL",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true", default=False,
+        help="print the metrics registry when the command finishes",
     )
     sub = parser.add_subparsers(dest="command")
 
@@ -56,11 +99,25 @@ def build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("--policy", default=None, choices=POLICY_NAMES)
     run_cmd.add_argument("--all-policies", action="store_true")
     run_cmd.add_argument("--scale", type=float, default=1.0)
+    _add_telemetry_flags(run_cmd)
     run_cmd.set_defaults(handler=cmd_run)
+
+    stats_cmd = sub.add_parser(
+        "stats", help="run one benchmark with telemetry and summarise it"
+    )
+    stats_cmd.add_argument("benchmark")
+    stats_cmd.add_argument("--policy", default=None, choices=POLICY_NAMES,
+                           help="evaluate one policy (default: all)")
+    stats_cmd.add_argument("--scale", type=float, default=1.0)
+    stats_cmd.add_argument("--top", type=int, default=5,
+                           help="hottest spans to list")
+    _add_telemetry_flags(stats_cmd)
+    stats_cmd.set_defaults(handler=cmd_stats)
 
     compile_cmd = sub.add_parser("compile", help="show a benchmark's slices")
     compile_cmd.add_argument("benchmark")
     compile_cmd.add_argument("--scale", type=float, default=1.0)
+    _add_telemetry_flags(compile_cmd)
     compile_cmd.set_defaults(handler=cmd_compile)
 
     disasm_cmd = sub.add_parser("disasm", help="disassemble a benchmark")
@@ -75,6 +132,7 @@ def build_parser() -> argparse.ArgumentParser:
     experiment_cmd = sub.add_parser("experiment", help="rerun one paper artifact")
     experiment_cmd.add_argument("experiment_id", choices=sorted(EXPERIMENTS))
     experiment_cmd.add_argument("--scale", type=float, default=1.0)
+    _add_telemetry_flags(experiment_cmd)
     experiment_cmd.set_defaults(handler=cmd_experiment)
 
     experiments_cmd = sub.add_parser("experiments", help="list the registry")
@@ -89,6 +147,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--experiments", nargs="*", default=None,
         help="experiment ids (default: every table/figure except table6)",
     )
+    _add_telemetry_flags(report_cmd)
     report_cmd.set_defaults(handler=cmd_report)
     return parser
 
@@ -111,13 +170,7 @@ def cmd_list(args) -> int:
     return 0
 
 
-def cmd_run(args) -> int:
-    spec = _lookup(args.benchmark)
-    if spec is None:
-        return 1
-    program = spec.instantiate(args.scale)
-    policies = POLICY_NAMES if (args.all_policies or not args.policy) else (args.policy,)
-    results = evaluate_policies(program, policies=policies, model=paper_energy_model())
+def _render_policy_table(spec, scale, results) -> str:
     rows = []
     for name, result in results.items():
         stats = result.amnesic.stats
@@ -126,10 +179,45 @@ def cmd_run(args) -> int:
              result.time_gain_percent, stats.recomputations_fired,
              stats.recomputations_skipped, stats.recomputation_fallbacks]
         )
-    print(render_table(
+    return render_table(
         ["policy", "EDP gain %", "energy %", "time %", "fired", "skipped", "fallback"],
-        rows, title=f"{spec.name} (scale {args.scale})",
-    ))
+        rows, title=f"{spec.name} (scale {scale})",
+    )
+
+
+def cmd_run(args) -> int:
+    spec = _lookup(args.benchmark)
+    if spec is None:
+        return 1
+    program = spec.instantiate(args.scale)
+    policies = POLICY_NAMES if (args.all_policies or not args.policy) else (args.policy,)
+    results = evaluate_policies(program, policies=policies, model=paper_energy_model())
+    print(_render_policy_table(spec, args.scale, results))
+    return 0
+
+
+def cmd_stats(args) -> int:
+    """Evaluate one benchmark with telemetry on and print the summary."""
+    spec = _lookup(args.benchmark)
+    if spec is None:
+        return 1
+    policies = (args.policy,) if args.policy else POLICY_NAMES
+
+    def evaluate_and_summarise(telemetry) -> None:
+        program = spec.instantiate(args.scale)
+        results = evaluate_policies(
+            program, policies=policies, model=paper_energy_model()
+        )
+        print(_render_policy_table(spec, args.scale, results))
+        print()
+        print(render_summary(telemetry, top=args.top))
+
+    ambient = get_telemetry()
+    if ambient.enabled:  # --trace-out/--metrics already opened a session
+        evaluate_and_summarise(ambient)
+    else:
+        with telemetry_session() as telemetry:
+            evaluate_and_summarise(telemetry)
     return 0
 
 

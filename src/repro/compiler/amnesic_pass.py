@@ -29,6 +29,7 @@ from typing import Dict, List, Optional
 
 from ..energy.model import EnergyModel
 from ..isa.program import Program
+from ..telemetry.runtime import get_telemetry
 from ..trace.recorder import ProfileResult, profile_program
 from .annotate import AmnesicBinary, rewrite_binary
 from .cost import ESTIMATION_GLOBAL, ESTIMATION_PER_LOAD, CostContext
@@ -104,104 +105,133 @@ def compile_amnesic(
     *profile* may be supplied to reuse an existing profiling run (e.g.
     when compiling the same program under several option sets).
     """
-    if profile is None:
-        profile = profile_program(program, model)
-    tracker = profile.dependence
-    context = CostContext.from_trace(
-        model, profile.loads, tracker, estimation=options.estimation
-    )
-    extractor = TemplateExtractor(
-        tracker,
-        max_height=options.max_height,
-        max_nodes=options.max_nodes,
-        max_samples=options.max_samples,
-    )
-
-    rejected: Dict[int, str] = {}
-    full_templates = {}
-    for load_pc in program.static_loads():
-        count = profile.loads.load_count(load_pc)
-        if count < options.min_instances:
-            rejected[load_pc] = (
-                f"only {count} dynamic instance(s) observed "
-                f"(minimum {options.min_instances})"
-            )
-            continue
-        template = extractor.extract(load_pc)
-        if template is None:
-            rejected[load_pc] = "no stable producer template"
-            continue
-        full_templates[load_pc] = template.tree
-
-    # First trace scan: liveness of every severable operand, so
-    # formation can price live leaf inputs as free.
-    liveness = collect_liveness(full_templates, tracker)
-
-    candidates = {}
-    for load_pc, tree in full_templates.items():
-        formed = form_slice_tree(
-            tree,
-            context,
-            load_pc,
-            liveness=liveness,
-            mode=options.formation,
+    telemetry = get_telemetry()
+    with telemetry.span(
+        "compile",
+        program=program.name,
+        selection=options.selection,
+        formation=options.formation,
+    ) as compile_span:
+        if profile is None:
+            profile = profile_program(program, model)
+        tracker = profile.dependence
+        context = CostContext.from_trace(
+            model, profile.loads, tracker, estimation=options.estimation
         )
-        candidates[load_pc] = formed.tree
-
-    # Second trace scan: classify the final cut trees and validate the
-    # recomputation-equals-load invariant on every dynamic instance.
-    reports = classify_and_validate(candidates, tracker)
-
-    scored: List[tuple] = []
-    for load_pc, report in reports.items():
-        if not report.valid:
-            rejected[load_pc] = _rejection_reason(report)
-            continue
-        traversal = context.traversal_cost(report.tree)
-        selection = context.selection_cost(report.tree, load_pc)
-        estimated_load = context.estimated_load_cost(load_pc)
-        benefit = estimated_load.energy_nj - selection.energy_nj
-        if options.selection == SELECTION_PROBABILISTIC and benefit <= 0:
-            rejected[load_pc] = (
-                f"unprofitable: E_rc {selection.energy_nj:.2f}nJ >= "
-                f"E_ld {estimated_load.energy_nj:.2f}nJ"
-            )
-            continue
-        scored.append((benefit, load_pc, report, traversal, selection, estimated_load))
-
-    scored.sort(key=lambda item: (-item[0], item[1]))
-    chosen: List[RSlice] = []
-    reports_by_pc: Dict[int, ValidationReport] = {}
-    protected: set = set()  # loads that must keep executing (REC sources)
-    swapped: set = set()
-    for benefit, load_pc, report, traversal, selection, estimated_load in scored:
-        if load_pc in protected:
-            rejected[load_pc] = "load feeds another slice's checkpoint"
-            continue
-        if any(pc in swapped for pc in report.checkpoint_load_pcs):
-            rejected[load_pc] = "a checkpoint-source load was already swapped"
-            continue
-        rslice = RSlice(
-            slice_id=len(chosen),
-            load_pc=load_pc,
-            root=report.tree,
-            traversal_cost=traversal,
-            selection_cost=selection,
-            estimated_load_cost=estimated_load,
+        extractor = TemplateExtractor(
+            tracker,
+            max_height=options.max_height,
+            max_nodes=options.max_nodes,
+            max_samples=options.max_samples,
         )
-        chosen.append(rslice)
-        reports_by_pc[load_pc] = report
-        swapped.add(load_pc)
-        protected.update(report.checkpoint_load_pcs)
 
-    binary = rewrite_binary(program, chosen)
-    return CompilationResult(
-        binary=binary,
-        rslices=chosen,
-        rejected=rejected,
-        profile=profile,
-        options=options,
-    )
+        # Candidate selection: which static loads have a stable,
+        # sufficiently hot producer template worth slicing.
+        rejected: Dict[int, str] = {}
+        full_templates = {}
+        with telemetry.span("compile.candidates") as candidates_span:
+            for load_pc in program.static_loads():
+                count = profile.loads.load_count(load_pc)
+                if count < options.min_instances:
+                    rejected[load_pc] = (
+                        f"only {count} dynamic instance(s) observed "
+                        f"(minimum {options.min_instances})"
+                    )
+                    continue
+                template = extractor.extract(load_pc)
+                if template is None:
+                    rejected[load_pc] = "no stable producer template"
+                    continue
+                full_templates[load_pc] = template.tree
+            candidates_span.set(
+                candidates=len(full_templates), rejected=len(rejected)
+            )
+
+        # Slice formation.  First trace scan: liveness of every severable
+        # operand, so formation can price live leaf inputs as free.
+        with telemetry.span("compile.formation") as formation_span:
+            liveness = collect_liveness(full_templates, tracker)
+            candidates = {}
+            for load_pc, tree in full_templates.items():
+                formed = form_slice_tree(
+                    tree,
+                    context,
+                    load_pc,
+                    liveness=liveness,
+                    mode=options.formation,
+                )
+                candidates[load_pc] = formed.tree
+            formation_span.set(formed=len(candidates))
+
+        # Leaf classification.  Second trace scan: classify the final cut
+        # trees and validate the recomputation-equals-load invariant on
+        # every dynamic instance.
+        with telemetry.span("compile.classify"):
+            reports = classify_and_validate(candidates, tracker)
+
+        with telemetry.span("compile.select") as select_span:
+            scored: List[tuple] = []
+            for load_pc, report in reports.items():
+                if not report.valid:
+                    rejected[load_pc] = _rejection_reason(report)
+                    continue
+                traversal = context.traversal_cost(report.tree)
+                selection = context.selection_cost(report.tree, load_pc)
+                estimated_load = context.estimated_load_cost(load_pc)
+                benefit = estimated_load.energy_nj - selection.energy_nj
+                if options.selection == SELECTION_PROBABILISTIC and benefit <= 0:
+                    rejected[load_pc] = (
+                        f"unprofitable: E_rc {selection.energy_nj:.2f}nJ >= "
+                        f"E_ld {estimated_load.energy_nj:.2f}nJ"
+                    )
+                    continue
+                scored.append(
+                    (benefit, load_pc, report, traversal, selection, estimated_load)
+                )
+
+            scored.sort(key=lambda item: (-item[0], item[1]))
+            chosen: List[RSlice] = []
+            reports_by_pc: Dict[int, ValidationReport] = {}
+            protected: set = set()  # loads that must keep executing (REC sources)
+            swapped: set = set()
+            for benefit, load_pc, report, traversal, selection, estimated_load in scored:
+                if load_pc in protected:
+                    rejected[load_pc] = "load feeds another slice's checkpoint"
+                    continue
+                if any(pc in swapped for pc in report.checkpoint_load_pcs):
+                    rejected[load_pc] = "a checkpoint-source load was already swapped"
+                    continue
+                rslice = RSlice(
+                    slice_id=len(chosen),
+                    load_pc=load_pc,
+                    root=report.tree,
+                    traversal_cost=traversal,
+                    selection_cost=selection,
+                    estimated_load_cost=estimated_load,
+                )
+                chosen.append(rslice)
+                reports_by_pc[load_pc] = report
+                swapped.add(load_pc)
+                protected.update(report.checkpoint_load_pcs)
+            select_span.set(chosen=len(chosen))
+
+        with telemetry.span("compile.rewrite"):
+            binary = rewrite_binary(program, chosen)
+
+        compile_span.set(slices=len(chosen), rejected=len(rejected))
+        telemetry.counter("compile.slices", selection=options.selection).inc(
+            len(chosen)
+        )
+        telemetry.counter("compile.rejected", selection=options.selection).inc(
+            len(rejected)
+        )
+        return CompilationResult(
+            binary=binary,
+            rslices=chosen,
+            rejected=rejected,
+            profile=profile,
+            options=options,
+        )
 
 
 def _rejection_reason(report: ValidationReport) -> str:

@@ -29,6 +29,7 @@ from ..isa.opcodes import Opcode
 from ..isa.operands import HistRef, Imm, Reg, SReg
 from ..isa.semantics import evaluate
 from ..machine.cpu import DEFAULT_MAX_INSTRUCTIONS, CPU
+from ..telemetry.runtime import get_telemetry
 from .hist import DEFAULT_HIST_CAPACITY, HistoryTable
 from .ibuff import DEFAULT_IBUFF_CAPACITY, InstructionBuffer
 from .policies import Decision, Policy, RcmpContext
@@ -39,6 +40,8 @@ Value = Union[int, float]
 
 class AmnesicCPU(CPU):
     """Executes amnesic binaries under a runtime recomputation policy."""
+
+    TELEMETRY_LABEL = "amnesic"
 
     def __init__(
         self,
@@ -96,6 +99,7 @@ class AmnesicCPU(CPU):
 
     def _execute_rcmp(self, instruction: Instruction) -> None:
         self.stats.rcmp_encountered += 1
+        rcmp_pc = self.pc
         info = self.binary.info_for(instruction.slice_id)
         address = self.effective_address(instruction.srcs[0], instruction.srcs[1])
         # RCMP itself is a fused conditional branch (paper section 4).
@@ -112,18 +116,80 @@ class AmnesicCPU(CPU):
         if decision.fire and self._slice_ready(info):
             fired = self._fire_recomputation(instruction, info, address, decision)
             if fired:
+                self._record_rcmp(
+                    rcmp_pc, info, address, decision, "fired",
+                    "policy fired; slice recomputed",
+                )
                 return
             # The traversal aborted (paper section 2.3: faults during
             # recomputation are recorded and deferred, never allowed to
             # corrupt architectural state); perform the load instead.
             self.stats.recomputation_fallbacks += 1
+            self._record_rcmp(
+                rcmp_pc, info, address, decision, "fallback",
+                "slice traversal aborted on an arithmetic fault",
+            )
             self._fallback_load(instruction, address, decision)
         else:
             if decision.fire:
                 self.stats.recomputation_fallbacks += 1
+                self._record_rcmp(
+                    rcmp_pc, info, address, decision, "fallback",
+                    "checkpoint missing from Hist or SFile demand exceeds capacity",
+                )
             else:
                 self.stats.recomputations_skipped += 1
+                self._record_rcmp(
+                    rcmp_pc, info, address, decision, "skipped",
+                    "policy declined to fire",
+                )
             self._fallback_load(instruction, address, decision)
+
+    def _record_rcmp(
+        self,
+        rcmp_pc: int,
+        info: SliceInfo,
+        address: int,
+        decision: Decision,
+        outcome: str,
+        reason: str,
+    ) -> None:
+        """Emit one per-RCMP decision record (free when telemetry is off).
+
+        Called *before* any fallback load so the recorded residence level
+        reflects the hierarchy state the scheduler actually saw, not the
+        post-fill state.
+        """
+        telemetry = get_telemetry()
+        if not telemetry.enabled:
+            return
+        telemetry.counter(
+            "rcmp.outcomes", policy=self.policy.name, outcome=outcome
+        ).inc()
+        telemetry.histogram(
+            "rcmp.slice_length", policy=self.policy.name, outcome=outcome
+        ).observe(info.length)
+        hist_ready = all(
+            self.hist.has(info.slice_id, leaf_id) for leaf_id in info.hist_leaf_ids
+        )
+        telemetry.counter(
+            "rcmp.hist", state="hit" if hist_ready else "miss"
+        ).inc()
+        probe_hit = decision.probe_hit_level
+        telemetry.event(
+            "rcmp",
+            pc=rcmp_pc,
+            slice=info.slice_id,
+            address=address,
+            policy=self.policy.name,
+            outcome=outcome,
+            reason=reason,
+            residence=self.hierarchy.residence(address).value,
+            slice_len=info.length,
+            hist_ready=hist_ready,
+            sfile_ok=info.sreg_demand <= self.sfile.capacity,
+            probe_hit=None if probe_hit is None else probe_hit.value,
+        )
 
     # ------------------------------------------------------------------
     # The two RCMP outcomes.

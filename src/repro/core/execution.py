@@ -31,6 +31,7 @@ from ..energy.tech import paper_energy_model
 from ..isa.program import Program
 from ..machine.cpu import DEFAULT_MAX_INSTRUCTIONS, CPU
 from ..machine.stats import RunStats
+from ..telemetry.runtime import get_telemetry
 from .amnesic_cpu import AmnesicCPU
 from .policies import POLICY_NAMES, Policy, make_policy
 
@@ -188,36 +189,42 @@ def evaluate_policies(
     setup.
     """
     model = model or paper_energy_model()
-    classic = run_classic(program, model, max_instructions=max_instructions)
+    telemetry = get_telemetry()
+    policies = tuple(policies)
+    with telemetry.span(
+        "evaluate", program=program.name, policies=",".join(policies)
+    ):
+        classic = run_classic(program, model, max_instructions=max_instructions)
 
-    probabilistic = compile_amnesic(
-        program,
-        model,
-        options=dataclasses.replace(options, selection=SELECTION_PROBABILISTIC),
-    )
-    all_valid: Optional[CompilationResult] = None
-
-    results: Dict[str, PolicyComparison] = {}
-    for name in policies:
-        if name == "Oracle":
-            if all_valid is None:
-                all_valid = compile_amnesic(
-                    program,
-                    model,
-                    profile=probabilistic.profile,
-                    options=_oracle_options(options),
-                )
-            compilation = all_valid
-        else:
-            compilation = probabilistic
-        amnesic = run_amnesic(
-            compilation,
-            name,
+        probabilistic = compile_amnesic(
+            program,
             model,
-            max_instructions=max_instructions,
-            verify=verify,
+            options=dataclasses.replace(options, selection=SELECTION_PROBABILISTIC),
         )
-        results[name] = PolicyComparison(
-            policy=name, classic=classic, amnesic=amnesic, compilation=compilation
-        )
-    return results
+        all_valid: Optional[CompilationResult] = None
+
+        results: Dict[str, PolicyComparison] = {}
+        for name in policies:
+            if name == "Oracle":
+                if all_valid is None:
+                    all_valid = compile_amnesic(
+                        program,
+                        model,
+                        profile=probabilistic.profile,
+                        options=_oracle_options(options),
+                    )
+                compilation = all_valid
+            else:
+                compilation = probabilistic
+            with telemetry.span("evaluate.policy", policy=name):
+                amnesic = run_amnesic(
+                    compilation,
+                    name,
+                    model,
+                    max_instructions=max_instructions,
+                    verify=verify,
+                )
+            results[name] = PolicyComparison(
+                policy=name, classic=classic, amnesic=amnesic, compilation=compilation
+            )
+        return results

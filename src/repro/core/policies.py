@@ -33,6 +33,7 @@ from ..energy.account import Cost
 from ..energy.model import EnergyModel
 from ..machine.config import Level
 from ..machine.hierarchy import MemoryHierarchy
+from ..telemetry.runtime import get_telemetry
 
 
 @dataclasses.dataclass
@@ -61,6 +62,26 @@ class Decision:
     probe_hit_level: Optional[Level] = None
 
 
+def _count_decision(policy_name: str, decision: Decision) -> Decision:
+    """Meter one scheduler verdict; free when telemetry is disabled."""
+    telemetry = get_telemetry()
+    if not telemetry.enabled:
+        return decision
+    telemetry.counter(
+        "policy.decisions",
+        policy=policy_name,
+        verdict="fire" if decision.fire else "skip",
+    ).inc()
+    if decision.probe_hit_level is not None:
+        telemetry.counter(
+            "policy.probe_hits", policy=policy_name,
+            level=decision.probe_hit_level.value,
+        ).inc()
+    elif decision.probe_cost is not None:
+        telemetry.counter("policy.probe_misses", policy=policy_name).inc()
+    return decision
+
+
 class Policy(abc.ABC):
     """A runtime recomputation-firing policy."""
 
@@ -80,7 +101,7 @@ class CompilerPolicy(Policy):
     name = "Compiler"
 
     def decide(self, context: RcmpContext) -> Decision:
-        return Decision(fire=True)
+        return _count_decision(self.name, Decision(fire=True))
 
 
 class FLCPolicy(Policy):
@@ -91,11 +112,11 @@ class FLCPolicy(Policy):
     def decide(self, context: RcmpContext) -> Decision:
         found = context.hierarchy.probe(context.address, through=Level.L1)
         cost = context.hierarchy.probe_cost(found, through=Level.L1)
-        return Decision(
+        return _count_decision(self.name, Decision(
             fire=found is None,
             probe_cost=Cost(cost.energy_nj, cost.latency_ns),
             probe_hit_level=found,
-        )
+        ))
 
 
 class LLCPolicy(Policy):
@@ -106,11 +127,11 @@ class LLCPolicy(Policy):
     def decide(self, context: RcmpContext) -> Decision:
         found = context.hierarchy.probe(context.address, through=Level.L2)
         cost = context.hierarchy.probe_cost(found, through=Level.L2)
-        return Decision(
+        return _count_decision(self.name, Decision(
             fire=found is None,
             probe_cost=Cost(cost.energy_nj, cost.latency_ns),
             probe_hit_level=found,
-        )
+        ))
 
 
 class OracleDecisionPolicy(Policy):
@@ -130,7 +151,10 @@ class OracleDecisionPolicy(Policy):
         level = context.hierarchy.residence(context.address)
         load_cost = context.model.load_cost_at(level)
         recompute_cost = context.slice_info.rslice.traversal_cost
-        return Decision(fire=load_cost.energy_nj > recompute_cost.energy_nj)
+        return _count_decision(
+            self.name,
+            Decision(fire=load_cost.energy_nj > recompute_cost.energy_nj),
+        )
 
 
 def make_policy(name: str) -> Policy:

@@ -247,13 +247,16 @@ EXPERIMENTS: Dict[str, Callable[[SuiteRunner], ExperimentReport]] = {
 
 def run_experiment(experiment_id: str, runner: SuiteRunner) -> ExperimentReport:
     """Run one registered experiment."""
+    from ..telemetry.runtime import get_telemetry
+
     try:
         experiment = EXPERIMENTS[experiment_id]
     except KeyError:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
         ) from None
-    return experiment(runner)
+    with get_telemetry().span("experiment", id=experiment_id):
+        return experiment(runner)
 
 
 def run_all(runner: SuiteRunner) -> List[ExperimentReport]:

@@ -10,18 +10,28 @@ experiments consume it.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Sequence
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 from ..core.execution import PolicyComparison, evaluate_policies
 from ..core.policies import POLICY_NAMES
 from ..energy.model import EnergyModel
 from ..energy.tech import paper_energy_model
+from ..telemetry.runtime import get_telemetry
 from ..workloads.base import SCALE_SMALL, WorkloadSpec
 from ..workloads.suite import RESPONSIVE, all_specs, get
 
+CacheKey = Tuple[str, float]  # (benchmark, scale)
+
 
 class SuiteRunner:
-    """Runs suite benchmarks under all policies, caching results."""
+    """Runs suite benchmarks under all policies, caching results.
+
+    The cache is keyed by ``(benchmark, scale)`` so changing
+    :attr:`scale` between calls re-evaluates instead of silently serving
+    a stale run.  The energy model cannot be keyed by value, so swapping
+    :attr:`model` while results are cached raises until
+    :meth:`invalidate` acknowledges the change.
+    """
 
     def __init__(
         self,
@@ -32,17 +42,36 @@ class SuiteRunner:
         self.model = model or paper_energy_model()
         self.scale = scale
         self.policies = tuple(policies)
-        self._cache: Dict[str, Dict[str, PolicyComparison]] = {}
+        self._cache: Dict[CacheKey, Dict[str, PolicyComparison]] = {}
+        self._cache_model: Optional[EnergyModel] = None
+
+    def _check_model_identity(self) -> None:
+        if self._cache and self._cache_model is not self.model:
+            raise RuntimeError(
+                "SuiteRunner.model changed while results were cached; "
+                "call invalidate() before evaluating under a new model"
+            )
 
     def result(self, benchmark: str) -> Dict[str, PolicyComparison]:
-        """All-policy comparison for *benchmark* (cached)."""
-        if benchmark not in self._cache:
+        """All-policy comparison for *benchmark* at the current scale."""
+        telemetry = get_telemetry()
+        key: CacheKey = (benchmark, self.scale)
+        self._check_model_identity()
+        if key in self._cache:
+            telemetry.counter("suite.cache", result="hit").inc()
+            return self._cache[key]
+        telemetry.counter("suite.cache", result="miss").inc()
+        with telemetry.span(
+            "suite.benchmark", benchmark=benchmark, scale=self.scale
+        ):
             spec: WorkloadSpec = get(benchmark)
             program = spec.instantiate(self.scale)
-            self._cache[benchmark] = evaluate_policies(
+            comparisons = evaluate_policies(
                 program, policies=self.policies, model=self.model
             )
-        return self._cache[benchmark]
+        self._cache[key] = comparisons
+        self._cache_model = self.model
+        return comparisons
 
     def results(self, benchmarks: Iterable[str]) -> Dict[str, Dict[str, PolicyComparison]]:
         """Results for several benchmarks, preserving order."""
@@ -57,8 +86,9 @@ class SuiteRunner:
         return self.results(spec.name for spec in all_specs())
 
     def invalidate(self) -> None:
-        """Drop all cached runs."""
+        """Drop all cached runs (and forget which model produced them)."""
         self._cache.clear()
+        self._cache_model = None
 
 
 #: Shared runner for the benchmark harness (one evaluation per session).

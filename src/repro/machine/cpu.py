@@ -30,6 +30,7 @@ from ..isa.opcodes import Category, Opcode
 from ..isa.operands import Imm, Operand, Reg
 from ..isa.program import Program
 from ..isa.semantics import branch_taken, evaluate
+from ..telemetry.runtime import get_telemetry
 from ..trace.events import InstructionEvent
 from .hierarchy import MemoryHierarchy
 from .memory import Memory
@@ -43,6 +44,9 @@ DEFAULT_MAX_INSTRUCTIONS = 5_000_000
 
 class CPU:
     """In-order interpreter with energy/timing accounting."""
+
+    #: Distinguishes ``execute.classic`` / ``execute.amnesic`` telemetry.
+    TELEMETRY_LABEL = "classic"
 
     def __init__(
         self,
@@ -101,14 +105,22 @@ class CPU:
     # ------------------------------------------------------------------
     def run(self) -> RunStats:
         """Execute until HALT; return the run statistics."""
-        while not self.halted:
-            if self._dynamic_index >= self.max_instructions:
-                raise ExecutionLimitExceeded(
-                    f"exceeded {self.max_instructions} dynamic instructions",
-                    pc=self.pc,
-                )
-            self.step()
-        self.finalize()
+        telemetry = get_telemetry()
+        with telemetry.span(f"execute.{self.TELEMETRY_LABEL}") as span:
+            while not self.halted:
+                if self._dynamic_index >= self.max_instructions:
+                    raise ExecutionLimitExceeded(
+                        f"exceeded {self.max_instructions} dynamic instructions",
+                        pc=self.pc,
+                    )
+                self.step()
+            self.finalize()
+            span.set(
+                instructions=self._dynamic_index,
+                energy_nj=round(self.account.total_energy_nj, 3),
+                time_ns=round(self.account.total_time_ns, 3),
+            )
+        telemetry.publish_run_stats(self.stats, run=self.TELEMETRY_LABEL)
         return self.stats
 
     def step(self) -> None:

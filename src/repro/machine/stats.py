@@ -74,18 +74,42 @@ class RunStats:
         }
 
     def merge(self, other: "RunStats") -> None:
-        """Accumulate *other* into this stats object (multi-run sweeps)."""
-        self.dynamic_instructions += other.dynamic_instructions
-        self.by_category.update(other.by_category)
-        self.loads_performed += other.loads_performed
-        self.stores_performed += other.stores_performed
-        self.branches_taken += other.branches_taken
-        self.rcmp_encountered += other.rcmp_encountered
-        self.recomputations_fired += other.recomputations_fired
-        self.recomputations_skipped += other.recomputations_skipped
-        self.recomputation_fallbacks += other.recomputation_fallbacks
-        self.recomputation_aborts += other.recomputation_aborts
-        self.slice_instructions_executed += other.slice_instructions_executed
-        self.hist_reads += other.hist_reads
-        self.hist_writes += other.hist_writes
-        self.swapped_load_levels.update(other.swapped_load_levels)
+        """Accumulate *other* into this stats object (multi-run sweeps).
+
+        Driven by :func:`dataclasses.fields` so a newly added counter is
+        merged automatically instead of being silently dropped; a field
+        of an unmergeable type fails loudly here (and in the test suite)
+        rather than corrupting sweep totals.
+        """
+        for field in dataclasses.fields(self):
+            mine = getattr(self, field.name)
+            theirs = getattr(other, field.name)
+            if isinstance(mine, Counter):
+                mine.update(theirs)
+            elif isinstance(mine, int):
+                setattr(self, field.name, mine + theirs)
+            else:
+                raise TypeError(
+                    f"RunStats.merge does not know how to combine field "
+                    f"{field.name!r} of type {type(mine).__name__}"
+                )
+
+    def publish(self, registry, **labels) -> None:
+        """Register every counter with a telemetry metrics registry.
+
+        Scalar fields become ``runstats.<field>`` counters; the
+        :class:`~collections.Counter` fields fan out into one labeled
+        series per key (instruction category / residence level).  The
+        extra *labels* (e.g. ``run="amnesic"``) separate classic,
+        profiling, and amnesic executions in the registry.
+        """
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            if isinstance(value, Counter):
+                for key, count in value.items():
+                    bucket = getattr(key, "value", key)
+                    registry.counter(
+                        f"runstats.{field.name}", bucket=str(bucket), **labels
+                    ).inc(count)
+            else:
+                registry.counter(f"runstats.{field.name}", **labels).inc(value)

@@ -1,0 +1,65 @@
+"""Telemetry: metrics registry, span tracing, and structured run logs.
+
+The observability layer for the profile -> compile -> execute pipeline.
+Disabled by default and free when off; enable it around any workload::
+
+    from repro.telemetry import telemetry_session
+    from repro.telemetry.summary import render_summary
+
+    with telemetry_session(trace_path="trace.jsonl") as telemetry:
+        evaluate_policies(program)
+        print(render_summary(telemetry))
+
+See ``docs/observability.md`` for the full guide.
+"""
+
+from .registry import Counter, Gauge, Histogram, MetricsRegistry, Timer
+from .runtime import (
+    Telemetry,
+    get_telemetry,
+    set_telemetry,
+    telemetry_session,
+)
+from .sink import (
+    JsonlSink,
+    ListSink,
+    decision_records,
+    read_events,
+    reconstruct_spans,
+)
+from .spans import Span, SpanNode, SpanTracer, build_tree
+from .summary import (
+    hottest_spans,
+    rcmp_breakdown,
+    render_metrics,
+    render_rcmp_breakdown,
+    render_span_tree,
+    render_summary,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Timer",
+    "Telemetry",
+    "get_telemetry",
+    "set_telemetry",
+    "telemetry_session",
+    "JsonlSink",
+    "ListSink",
+    "decision_records",
+    "read_events",
+    "reconstruct_spans",
+    "Span",
+    "SpanNode",
+    "SpanTracer",
+    "build_tree",
+    "hottest_spans",
+    "rcmp_breakdown",
+    "render_metrics",
+    "render_rcmp_breakdown",
+    "render_span_tree",
+    "render_summary",
+]

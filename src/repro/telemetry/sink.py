@@ -1,0 +1,126 @@
+"""Structured event sink: JSONL out, parsed events and span trees back.
+
+Every telemetry event is one JSON object per line.  Three event shapes
+exist today:
+
+* ``span_open`` / ``span_close`` — emitted by the tracer around every
+  pipeline phase;
+* ``rcmp`` — one record per dynamic RCMP with the scheduler's verdict
+  (fired / skipped / fallback), the load's residence level, the slice
+  length, and checkpoint availability;
+* anything else instrumented code passes to ``Telemetry.event``.
+
+:func:`read_events` parses a file back into dicts and
+:func:`reconstruct_spans` rebuilds the span forest, so a trace survives
+the round trip ``emit -> JSONL -> parse -> tree`` losslessly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Dict, Iterable, List, Optional, Union
+
+from .spans import Span, SpanNode, build_tree
+
+
+def _jsonable(value):
+    """Coerce non-JSON values (enums, tuples, paths) to something stable."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    enum_value = getattr(value, "value", None)
+    if isinstance(enum_value, (str, int, float)):
+        return enum_value
+    return str(value)
+
+
+class JsonlSink:
+    """Writes one JSON object per line to a path or open stream."""
+
+    def __init__(self, target: Union[str, IO[str]]):
+        if hasattr(target, "write"):
+            self._stream: IO[str] = target
+            self._owns_stream = False
+            self.path: Optional[str] = getattr(target, "name", None)
+        else:
+            self._stream = open(target, "w", encoding="utf-8")
+            self._owns_stream = True
+            self.path = str(target)
+        self.events_written = 0
+
+    def emit(self, event: Dict[str, object]) -> None:
+        json.dump(_jsonable(event), self._stream, separators=(",", ":"))
+        self._stream.write("\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        self._stream.flush()
+        if self._owns_stream:
+            self._stream.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class ListSink:
+    """In-memory sink for tests and the ``repro stats`` summary path."""
+
+    def __init__(self):
+        self.events: List[Dict[str, object]] = []
+
+    def emit(self, event: Dict[str, object]) -> None:
+        self.events.append(_jsonable(event))
+
+    def close(self) -> None:
+        pass
+
+
+def read_events(path: str) -> List[Dict[str, object]]:
+    """Parse a JSONL trace file back into event dicts."""
+    events = []
+    with open(path, "r", encoding="utf-8") as stream:
+        for line in stream:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def reconstruct_spans(events: Iterable[Dict[str, object]]) -> List[SpanNode]:
+    """Rebuild the span forest from span_open/span_close events.
+
+    A span_open without a matching span_close (truncated trace) is kept
+    as an open span with ``end_s=None`` so nothing silently disappears.
+    """
+    spans: Dict[int, Span] = {}
+    for event in events:
+        kind = event.get("type")
+        if kind == "span_open":
+            span_id = int(event["span"])
+            parent = event.get("parent")
+            spans[span_id] = Span(
+                span_id=span_id,
+                parent_id=None if parent is None else int(parent),
+                name=str(event["name"]),
+                attrs=dict(event.get("attrs") or {}),
+                start_s=float(event["t"]),
+            )
+        elif kind == "span_close":
+            span = spans.get(int(event["span"]))
+            if span is None:
+                continue
+            span.end_s = float(event["t"])
+            span.status = str(event.get("status", "ok"))
+            span.attrs.update(event.get("attrs") or {})
+    return build_tree(spans.values())
+
+
+def decision_records(events: Iterable[Dict[str, object]]) -> List[Dict[str, object]]:
+    """The per-RCMP decision events of a parsed trace."""
+    return [event for event in events if event.get("type") == "rcmp"]

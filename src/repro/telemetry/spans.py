@@ -1,0 +1,192 @@
+"""Span-based tracing for the profile -> compile -> execute pipeline.
+
+A :class:`Span` is one timed region with a name and free-form
+attributes; the :class:`SpanTracer` maintains the open-span stack (the
+interpreters are single-threaded, so a plain stack is the whole story),
+assigns parent links, and notifies an optional event sink on open and
+close.  Completed spans can be reassembled into a tree of
+:class:`SpanNode` for the summary renderer, with *self time* (duration
+minus child durations) available for hot-spot ranking.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterable, List, Optional
+
+
+@dataclasses.dataclass
+class Span:
+    """One timed, attributed region of the pipeline."""
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    attrs: Dict[str, object] = dataclasses.field(default_factory=dict)
+    start_s: float = 0.0
+    end_s: Optional[float] = None
+    status: str = "ok"
+
+    @property
+    def closed(self) -> bool:
+        return self.end_s is not None
+
+    @property
+    def duration_s(self) -> float:
+        if self.end_s is None:
+            return 0.0
+        return self.end_s - self.start_s
+
+    def set(self, **attrs) -> None:
+        """Attach attributes discovered after the span opened."""
+        self.attrs.update(attrs)
+
+
+class _NullSpan:
+    """Stand-in yielded when telemetry is disabled; absorbs ``set()``."""
+
+    __slots__ = ()
+
+    def set(self, **attrs) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _NullSpanContext:
+    """Reusable no-op context manager (shared, so zero allocation)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return NULL_SPAN
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+NULL_SPAN_CONTEXT = _NullSpanContext()
+
+
+class SpanTracer:
+    """Tracks open spans and remembers completed ones in close order."""
+
+    def __init__(self, sink=None, clock=time.perf_counter):
+        self.sink = sink
+        self.completed: List[Span] = []
+        self._clock = clock
+        self._stack: List[Span] = []
+        self._next_id = 0
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    def current(self) -> Optional[Span]:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        parent = self._stack[-1].span_id if self._stack else None
+        span = Span(
+            span_id=self._next_id,
+            parent_id=parent,
+            name=name,
+            attrs=dict(attrs),
+            start_s=self._clock(),
+        )
+        self._next_id += 1
+        self._stack.append(span)
+        if self.sink is not None:
+            self.sink.emit(
+                {
+                    "type": "span_open",
+                    "span": span.span_id,
+                    "parent": span.parent_id,
+                    "name": span.name,
+                    "t": span.start_s,
+                    "attrs": dict(span.attrs),
+                }
+            )
+        try:
+            yield span
+            span.status = "ok"
+        except BaseException:
+            span.status = "error"
+            raise
+        finally:
+            span.end_s = self._clock()
+            self._stack.pop()
+            self.completed.append(span)
+            if self.sink is not None:
+                self.sink.emit(
+                    {
+                        "type": "span_close",
+                        "span": span.span_id,
+                        "name": span.name,
+                        "t": span.end_s,
+                        "duration_s": span.duration_s,
+                        "status": span.status,
+                        "attrs": dict(span.attrs),
+                    }
+                )
+
+    def tree(self) -> List["SpanNode"]:
+        """Completed spans as a forest (roots in start order)."""
+        return build_tree(self.completed)
+
+
+@dataclasses.dataclass
+class SpanNode:
+    """A span plus its children, for tree rendering and hot-spot math."""
+
+    span: Span
+    children: List["SpanNode"] = dataclasses.field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.span.name
+
+    @property
+    def duration_s(self) -> float:
+        return self.span.duration_s
+
+    @property
+    def self_time_s(self) -> float:
+        """Duration not accounted for by child spans."""
+        return max(
+            0.0, self.span.duration_s - sum(c.span.duration_s for c in self.children)
+        )
+
+    def walk(self) -> Iterable["SpanNode"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+def build_tree(spans: Iterable[Span]) -> List[SpanNode]:
+    """Assemble spans into a forest using their parent links.
+
+    Spans whose parent is absent (e.g. a trace truncated mid-run) are
+    promoted to roots rather than dropped.
+    """
+    nodes: Dict[int, SpanNode] = {span.span_id: SpanNode(span) for span in spans}
+    roots: List[SpanNode] = []
+    for node in nodes.values():
+        parent = (
+            nodes.get(node.span.parent_id)
+            if node.span.parent_id is not None
+            else None
+        )
+        if parent is None:
+            roots.append(node)
+        else:
+            parent.children.append(node)
+    for node in nodes.values():
+        node.children.sort(key=lambda child: child.span.start_s)
+    roots.sort(key=lambda node: node.span.start_s)
+    return roots

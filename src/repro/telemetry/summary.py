@@ -1,0 +1,141 @@
+"""Human-readable views over a telemetry session.
+
+Renders the three things an operator actually reads after a run: the
+span tree with wall-clock durations, the hottest span names by self
+time, and the RCMP decision breakdown (how often each policy fired,
+skipped, or fell back, and why).  ``repro stats`` and the ``--metrics``
+flag are thin wrappers over these functions.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Tuple
+
+from .registry import MetricsRegistry, format_series
+from .runtime import Telemetry
+from .spans import SpanNode
+
+
+def _format_duration(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds * 1e6:.0f}us"
+
+
+def _format_attrs(attrs: Dict[str, object]) -> str:
+    if not attrs:
+        return ""
+    inner = ", ".join(f"{key}={value}" for key, value in attrs.items())
+    return f" [{inner}]"
+
+
+def render_span_tree(roots: Iterable[SpanNode]) -> str:
+    """Indented tree: one line per span with duration and attributes."""
+    lines: List[str] = []
+
+    def visit(node: SpanNode, depth: int) -> None:
+        marker = "" if node.span.status == "ok" else " !error"
+        lines.append(
+            f"{'  ' * depth}{node.name:<{max(1, 28 - 2 * depth)}} "
+            f"{_format_duration(node.duration_s):>10}"
+            f"{marker}{_format_attrs(node.span.attrs)}"
+        )
+        for child in node.children:
+            visit(child, depth + 1)
+
+    for root in roots:
+        visit(root, 0)
+    return "\n".join(lines) if lines else "(no spans recorded)"
+
+
+def hottest_spans(
+    roots: Iterable[SpanNode], top: int = 5
+) -> List[Tuple[str, float, int]]:
+    """``(name, total self time, count)`` aggregated over the forest."""
+    self_time: Dict[str, float] = defaultdict(float)
+    counts: Dict[str, int] = defaultdict(int)
+    for root in roots:
+        for node in root.walk():
+            self_time[node.name] += node.self_time_s
+            counts[node.name] += 1
+    ranked = sorted(self_time.items(), key=lambda item: (-item[1], item[0]))
+    return [(name, seconds, counts[name]) for name, seconds in ranked[:top]]
+
+
+def render_hottest_spans(roots: Iterable[SpanNode], top: int = 5) -> str:
+    rows = hottest_spans(roots, top)
+    if not rows:
+        return "(no spans recorded)"
+    lines = [f"top {len(rows)} spans by self time:"]
+    for rank, (name, seconds, count) in enumerate(rows, start=1):
+        lines.append(
+            f"  {rank}. {name:<28} {_format_duration(seconds):>10}  (x{count})"
+        )
+    return "\n".join(lines)
+
+
+def rcmp_breakdown(registry: MetricsRegistry) -> Dict[str, Dict[str, int]]:
+    """``{policy: {outcome: count}}`` from the ``rcmp.outcomes`` series."""
+    breakdown: Dict[str, Dict[str, int]] = defaultdict(dict)
+    for series in registry.series("rcmp.outcomes"):
+        labels = dict(series.labels)
+        policy = labels.get("policy", "?")
+        outcome = labels.get("outcome", "?")
+        breakdown[policy][outcome] = series.value
+    return dict(breakdown)
+
+
+def render_rcmp_breakdown(registry: MetricsRegistry) -> str:
+    breakdown = rcmp_breakdown(registry)
+    if not breakdown:
+        return "(no RCMP decisions recorded)"
+    outcomes = ("fired", "skipped", "fallback")
+    lines = ["RCMP decisions (per policy):"]
+    header = f"  {'policy':<10}" + "".join(f"{o:>10}" for o in outcomes) + f"{'total':>10}"
+    lines.append(header)
+    for policy in sorted(breakdown):
+        row = breakdown[policy]
+        total = sum(row.values())
+        cells = "".join(f"{row.get(outcome, 0):>10}" for outcome in outcomes)
+        lines.append(f"  {policy:<10}{cells}{total:>10}")
+    return "\n".join(lines)
+
+
+def render_metrics(registry: MetricsRegistry) -> str:
+    """Every registered series, one line each."""
+    all_series = registry.series()
+    if not all_series:
+        return "(no metrics recorded)"
+    lines = ["metrics:"]
+    for series in all_series:
+        label = format_series(series.name, series.labels)
+        if series.kind == "histogram":
+            snap = series.snapshot()
+            lines.append(
+                f"  {label:<56} count={snap['count']} mean={snap['mean']:.4g} "
+                f"p50={snap['p50']:.4g} p95={snap['p95']:.4g} max={snap['max']:.4g}"
+            )
+        else:
+            lines.append(f"  {label:<56} {series.value}")
+    return "\n".join(lines)
+
+
+def render_summary(telemetry: Telemetry, top: int = 5, metrics: bool = True) -> str:
+    """The full post-run report: tree, hot spans, RCMP table, metrics."""
+    roots = telemetry.tracer.tree()
+    sections = [
+        "== span tree ==",
+        render_span_tree(roots),
+        "",
+        "== hottest spans ==",
+        render_hottest_spans(roots, top),
+        "",
+        "== recomputation ==",
+        render_rcmp_breakdown(telemetry.registry),
+    ]
+    if metrics:
+        sections += ["", "== metrics ==", render_metrics(telemetry.registry)]
+    return "\n".join(sections)

@@ -46,6 +46,7 @@ def profile_program(
 ) -> ProfileResult:
     """Run *program* classically with all profiling tracers attached."""
     from ..machine.cpu import DEFAULT_MAX_INSTRUCTIONS, CPU
+    from ..telemetry.runtime import get_telemetry
 
     dependence = DependenceTracker()
     loads = LoadProfiler()
@@ -56,7 +57,9 @@ def profile_program(
         tracer=MultiTracer(dependence, loads, locality),
         max_instructions=max_instructions or DEFAULT_MAX_INSTRUCTIONS,
     )
-    stats = cpu.run()
+    with get_telemetry().span("profile", program=program.name) as span:
+        stats = cpu.run()
+        span.set(dynamic_instructions=stats.dynamic_instructions)
     return ProfileResult(
         dependence=dependence, loads=loads, locality=locality, stats=stats, cpu=cpu
     )

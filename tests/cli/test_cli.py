@@ -73,3 +73,57 @@ def test_report_command(tmp_path, capsys):
                  "--experiments", "table1"]) == 0
     assert out.exists()
     assert "40nm" in out.read_text()
+
+
+def test_stats_command(capsys):
+    assert main(["stats", "bfs", "--policy", "FLC", "--scale", "0.25"]) == 0
+    out = capsys.readouterr().out
+    assert "EDP gain" in out
+    assert "span tree" in out
+    assert "hottest spans" in out
+    assert "RCMP decisions" in out
+    for span_name in ("profile", "compile", "execute.amnesic"):
+        assert span_name in out
+
+
+def test_stats_unknown_benchmark(capsys):
+    assert main(["stats", "nope"]) == 1
+    assert "unknown workload" in capsys.readouterr().err
+
+
+def test_run_with_trace_out_writes_jsonl(tmp_path, capsys):
+    from repro.telemetry import decision_records, read_events
+
+    trace = tmp_path / "trace.jsonl"
+    assert main(["run", "bfs", "--policy", "FLC", "--scale", "0.25",
+                 "--trace-out", str(trace)]) == 0
+    assert trace.exists()
+    events = read_events(str(trace))
+    opened = {e["name"] for e in events if e["type"] == "span_open"}
+    assert {"evaluate", "profile", "compile", "execute.amnesic"} <= opened
+    assert decision_records(events)
+
+
+def test_global_flag_position_also_works(tmp_path, capsys):
+    trace = tmp_path / "trace.jsonl"
+    assert main(["--trace-out", str(trace), "run", "bfs",
+                 "--policy", "FLC", "--scale", "0.25"]) == 0
+    assert trace.exists()
+
+
+def test_metrics_flag_prints_registry(capsys):
+    assert main(["run", "bfs", "--policy", "FLC", "--scale", "0.25",
+                 "--metrics"]) == 0
+    out = capsys.readouterr().out
+    assert "metrics:" in out
+    assert "rcmp.outcomes{outcome=" in out
+    assert "runstats.dynamic_instructions{run=amnesic}" in out
+
+
+def test_telemetry_disabled_by_default(capsys):
+    from repro.telemetry import get_telemetry
+
+    assert main(["run", "bfs", "--policy", "FLC", "--scale", "0.25"]) == 0
+    assert not get_telemetry().enabled
+    out = capsys.readouterr().out
+    assert "metrics:" not in out

@@ -18,6 +18,35 @@ def test_result_is_cached(runner):
     assert runner.result("bfs") is not first
 
 
+def test_cache_keyed_on_scale():
+    """Changing scale re-evaluates instead of serving the stale run."""
+    runner = SuiteRunner(scale=0.25)
+    small = runner.result("bfs")
+    runner.scale = 0.5
+    large = runner.result("bfs")
+    assert large is not small
+    # The small-scale entry is still cached alongside the large one.
+    runner.scale = 0.25
+    assert runner.result("bfs") is small
+    small_stats = small["Compiler"].classic.stats
+    large_stats = large["Compiler"].classic.stats
+    assert small_stats.dynamic_instructions < large_stats.dynamic_instructions
+
+
+def test_model_swap_without_invalidate_raises():
+    from repro.energy.tech import paper_energy_model
+
+    runner = SuiteRunner(scale=0.25)
+    runner.result("bfs")
+    runner.model = paper_energy_model()
+    with pytest.raises(RuntimeError, match="invalidate"):
+        runner.result("bfs")
+    with pytest.raises(RuntimeError, match="invalidate"):
+        runner.result("is")  # even an uncached benchmark must not mix models
+    runner.invalidate()
+    assert runner.result("bfs")  # fresh model accepted after invalidate
+
+
 def test_registry_covers_every_table_and_figure():
     expected = {"table1", "fig3", "fig4", "fig5", "table4", "table5",
                 "fig6", "fig7", "fig8", "table6"}

@@ -11,15 +11,29 @@ EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
 pytestmark = pytest.mark.integration
 
 
-@pytest.mark.parametrize("script", ["quickstart.py", "organic_algorithms.py"])
-def test_example_runs(script, capsys):
+def run_example(script, argv=()):
     path = EXAMPLES / script
     assert path.exists()
     saved_argv = sys.argv
-    sys.argv = [str(path)]
+    sys.argv = [str(path), *argv]
     try:
         runpy.run_path(str(path), run_name="__main__")
     finally:
         sys.argv = saved_argv
+
+
+@pytest.mark.parametrize("script", ["quickstart.py", "organic_algorithms.py"])
+def test_example_runs(script, capsys):
+    run_example(script)
     out = capsys.readouterr().out
     assert out.strip()
+
+
+def test_trace_inspection_example(tmp_path, capsys):
+    trace = tmp_path / "trace.jsonl"
+    run_example("trace_inspection.py", [str(trace)])
+    out = capsys.readouterr().out
+    assert "spans by self time" in out
+    assert "RCMP decisions" in out
+    assert "fired recomputations by residence level" in out
+    assert trace.exists()

@@ -1,0 +1,176 @@
+"""Telemetry across the real pipeline + disabled-mode regression."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.execution import evaluate_policies
+from repro.machine.stats import RunStats
+from repro.telemetry import (
+    MetricsRegistry,
+    decision_records,
+    read_events,
+    reconstruct_spans,
+    telemetry_session,
+)
+from repro.telemetry.runtime import get_telemetry
+from repro.telemetry.summary import (
+    hottest_spans,
+    rcmp_breakdown,
+    render_metrics,
+    render_rcmp_breakdown,
+    render_span_tree,
+    render_summary,
+)
+
+from ..conftest import build_spill_kernel
+
+
+def run_pipeline(model, policies=("FLC",)):
+    return evaluate_policies(
+        build_spill_kernel(), policies=policies, model=model
+    )
+
+
+def test_trace_covers_profile_compile_execute(tmp_path, model):
+    path = tmp_path / "trace.jsonl"
+    with telemetry_session(trace_path=str(path)):
+        run_pipeline(model)
+    events = read_events(str(path))
+    opened = {event["name"] for event in events if event["type"] == "span_open"}
+    assert {
+        "evaluate", "profile", "compile", "compile.candidates",
+        "compile.formation", "compile.classify", "compile.select",
+        "compile.rewrite", "evaluate.policy", "execute.classic",
+        "execute.amnesic",
+    } <= opened
+    # Per-RCMP decision records exist and carry the scheduler's context.
+    records = decision_records(events)
+    assert records
+    record = records[0]
+    assert record["outcome"] in {"fired", "skipped", "fallback"}
+    assert record["residence"] in {"L1", "L2", "MEM"}
+    assert record["slice_len"] >= 1
+    assert isinstance(record["hist_ready"], bool)
+    # The span forest reconstructs with evaluate as the root.
+    roots = reconstruct_spans(events)
+    assert [root.name for root in roots] == ["evaluate"]
+
+
+def test_session_metrics_and_summary(model):
+    with telemetry_session() as telemetry:
+        results = run_pipeline(model)
+        summary = render_summary(telemetry)
+    stats = results["FLC"].amnesic.stats
+    registry = telemetry.registry
+    fired = registry.value("rcmp.outcomes", policy="FLC", outcome="fired") or 0
+    skipped = registry.value("rcmp.outcomes", policy="FLC", outcome="skipped") or 0
+    fallback = registry.value("rcmp.outcomes", policy="FLC", outcome="fallback") or 0
+    assert fired == stats.recomputations_fired
+    assert skipped == stats.recomputations_skipped
+    assert fallback == stats.recomputation_fallbacks
+    assert fired + skipped + fallback == stats.rcmp_encountered
+    # RunStats published through the registry under run labels.
+    assert (
+        registry.value("runstats.rcmp_encountered", run="amnesic")
+        == stats.rcmp_encountered
+    )
+    assert registry.value("runstats.rcmp_encountered", run="classic") == 0
+    # The human summary mentions each section.
+    for needle in ("span tree", "hottest spans", "FLC", "metrics"):
+        assert needle in summary
+
+
+def test_session_restores_previous_state(model):
+    before = get_telemetry()
+    assert not before.enabled
+    with telemetry_session() as telemetry:
+        assert get_telemetry() is telemetry
+        assert telemetry.enabled
+    assert get_telemetry() is before
+
+
+def test_disabled_runs_match_enabled_runs_bit_for_bit(model):
+    """Telemetry must be observationally invisible to the simulation."""
+    baseline = run_pipeline(model, policies=("FLC", "Compiler"))
+    repeat = run_pipeline(model, policies=("FLC", "Compiler"))
+    with telemetry_session():
+        observed = run_pipeline(model, policies=("FLC", "Compiler"))
+    for name in ("FLC", "Compiler"):
+        # Deterministic across repeats (the seed guarantee)...
+        assert repeat[name].amnesic.stats == baseline[name].amnesic.stats
+        assert repeat[name].classic.stats == baseline[name].classic.stats
+        # ...and unchanged when telemetry observes the run.
+        assert observed[name].amnesic.stats == baseline[name].amnesic.stats
+        assert observed[name].classic.stats == baseline[name].classic.stats
+        assert observed[name].amnesic.energy_nj == baseline[name].amnesic.energy_nj
+        assert observed[name].amnesic.time_ns == baseline[name].amnesic.time_ns
+        assert observed[name].edp_gain_percent == baseline[name].edp_gain_percent
+
+
+def test_summary_renderers_tolerate_empty_session():
+    with telemetry_session() as telemetry:
+        pass
+    assert "(no spans recorded)" in render_span_tree(telemetry.tracer.tree())
+    assert "(no RCMP decisions recorded)" in render_rcmp_breakdown(
+        telemetry.registry
+    )
+    assert "(no metrics recorded)" in render_metrics(telemetry.registry)
+    assert hottest_spans(telemetry.tracer.tree()) == []
+
+
+def test_rcmp_breakdown_pivots_by_policy():
+    registry = MetricsRegistry()
+    registry.counter("rcmp.outcomes", policy="FLC", outcome="fired").inc(10)
+    registry.counter("rcmp.outcomes", policy="FLC", outcome="skipped").inc(2)
+    registry.counter("rcmp.outcomes", policy="LLC", outcome="fired").inc(1)
+    assert rcmp_breakdown(registry) == {
+        "FLC": {"fired": 10, "skipped": 2},
+        "LLC": {"fired": 1},
+    }
+
+
+def test_run_stats_publish_covers_every_field():
+    """publish() must register a series for each RunStats field."""
+    registry = MetricsRegistry()
+    stats = RunStats()
+    stats.publish(registry, run="x")
+    published = {series.name for series in registry.series()}
+    from collections import Counter
+
+    for field in dataclasses.fields(RunStats):
+        value = getattr(stats, field.name)
+        if isinstance(value, Counter):
+            continue  # empty Counter fields publish no buckets
+        assert f"runstats.{field.name}" in published
+
+
+def test_publish_expands_counter_fields_into_buckets(model):
+    from repro.isa import Category
+    from repro.machine import Level
+
+    registry = MetricsRegistry()
+    stats = RunStats()
+    stats.count_instruction(Category.INT_ALU)
+    stats.count_swapped_load(Level.MEM)
+    stats.publish(registry, run="amnesic")
+    assert registry.value(
+        "runstats.by_category", bucket=Category.INT_ALU.value, run="amnesic"
+    ) == 1
+    assert registry.value(
+        "runstats.swapped_load_levels", bucket="MEM", run="amnesic"
+    ) == 1
+
+
+@pytest.mark.integration
+def test_policy_decision_counters_cover_probing_policies(model):
+    with telemetry_session() as telemetry:
+        run_pipeline(model, policies=("FLC", "LLC", "C-Oracle"))
+    registry = telemetry.registry
+    for policy in ("FLC", "LLC", "C-Oracle"):
+        decided = sum(
+            series.value
+            for series in registry.series("policy.decisions")
+            if dict(series.labels)["policy"] == policy
+        )
+        assert decided > 0

@@ -1,0 +1,109 @@
+"""JSONL sink round trip: emit -> parse -> reconstruct the span tree."""
+
+import itertools
+import json
+
+from repro.telemetry import (
+    JsonlSink,
+    ListSink,
+    decision_records,
+    read_events,
+    reconstruct_spans,
+)
+from repro.telemetry.spans import SpanTracer
+
+
+def counting_clock():
+    counter = itertools.count()
+    return lambda: float(next(counter))
+
+
+def _trace_into(sink):
+    tracer = SpanTracer(sink=sink, clock=counting_clock())
+    with tracer.span("evaluate", program="demo"):
+        with tracer.span("compile") as compile_span:
+            compile_span.set(slices=2)
+        with tracer.span("execute.amnesic"):
+            sink.emit(
+                {
+                    "type": "rcmp",
+                    "pc": 7,
+                    "slice": 0,
+                    "outcome": "fired",
+                    "residence": "MEM",
+                }
+            )
+    return tracer
+
+
+def test_jsonl_round_trip_rebuilds_identical_tree(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    with JsonlSink(str(path)) as sink:
+        tracer = _trace_into(sink)
+
+    events = read_events(str(path))
+    # Every line parsed as one JSON object; open/close pairs + 1 rcmp.
+    assert len(events) == 7
+    assert sink.events_written == 7
+
+    rebuilt = reconstruct_spans(events)
+    original = tracer.tree()
+    assert len(rebuilt) == len(original) == 1
+
+    def shape(node):
+        return (
+            node.name,
+            node.span.start_s,
+            node.span.end_s,
+            node.span.status,
+            dict(node.span.attrs),
+            [shape(child) for child in node.children],
+        )
+
+    assert shape(rebuilt[0]) == shape(original[0])
+
+
+def test_decision_records_filter(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    with JsonlSink(str(path)) as sink:
+        _trace_into(sink)
+    records = decision_records(read_events(str(path)))
+    assert len(records) == 1
+    assert records[0]["outcome"] == "fired"
+    assert records[0]["residence"] == "MEM"
+
+
+def test_truncated_trace_keeps_open_span(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    with JsonlSink(str(path)) as sink:
+        sink.emit({"type": "span_open", "span": 0, "parent": None,
+                   "name": "interrupted", "t": 1.0, "attrs": {}})
+    (root,) = reconstruct_spans(read_events(str(path)))
+    assert root.name == "interrupted"
+    assert not root.span.closed
+
+
+def test_sink_coerces_non_json_values(tmp_path):
+    from repro.machine import Level
+
+    path = tmp_path / "trace.jsonl"
+    with JsonlSink(str(path)) as sink:
+        sink.emit({"type": "x", "level": Level.MEM, "pair": (1, 2)})
+    (event,) = read_events(str(path))
+    assert event["level"] == "MEM"
+    assert event["pair"] == [1, 2]
+
+
+def test_jsonl_lines_are_compact_single_objects(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    with JsonlSink(str(path)) as sink:
+        _trace_into(sink)
+    for line in path.read_text().splitlines():
+        assert isinstance(json.loads(line), dict)
+
+
+def test_list_sink_buffers_in_memory():
+    sink = ListSink()
+    _trace_into(sink)
+    assert len(sink.events) == 7
+    assert sink.events[0]["type"] == "span_open"

@@ -1,0 +1,103 @@
+"""Span tracing: nesting, timing, trees, self time, error status."""
+
+import itertools
+
+import pytest
+
+from repro.telemetry import SpanTracer, build_tree
+from repro.telemetry.runtime import Telemetry
+from repro.telemetry.spans import NULL_SPAN_CONTEXT
+
+
+def counting_clock(step: float = 1.0):
+    counter = itertools.count()
+    return lambda: next(counter) * step
+
+
+def test_nesting_assigns_parents():
+    tracer = SpanTracer(clock=counting_clock())
+    with tracer.span("outer") as outer:
+        with tracer.span("inner") as inner:
+            assert tracer.current() is inner
+            assert inner.parent_id == outer.span_id
+        assert tracer.current() is outer
+    assert tracer.current() is None
+    assert tracer.depth == 0
+
+
+def test_timing_with_injected_clock():
+    tracer = SpanTracer(clock=counting_clock(step=0.5))
+    with tracer.span("a"):
+        pass
+    (span,) = tracer.completed
+    assert span.start_s == 0.0
+    assert span.end_s == 0.5
+    assert span.duration_s == pytest.approx(0.5)
+
+
+def test_tree_reassembles_nesting_and_order():
+    tracer = SpanTracer(clock=counting_clock())
+    with tracer.span("root"):
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            with tracer.span("grandchild"):
+                pass
+    roots = tracer.tree()
+    assert [node.name for node in roots] == ["root"]
+    root = roots[0]
+    assert [child.name for child in root.children] == ["first", "second"]
+    assert [c.name for c in root.children[1].children] == ["grandchild"]
+    assert [node.name for node in root.walk()] == [
+        "root", "first", "second", "grandchild",
+    ]
+
+
+def test_self_time_excludes_children():
+    tracer = SpanTracer(clock=counting_clock())  # every event 1s apart
+    with tracer.span("root"):       # opens t=0
+        with tracer.span("child"):  # opens t=1, closes t=2
+            pass
+    # root: 0 -> 3 (3s total), child 1s => self time 2s.
+    (root,) = tracer.tree()
+    assert root.duration_s == pytest.approx(3.0)
+    assert root.self_time_s == pytest.approx(2.0)
+
+
+def test_exception_marks_error_status_and_closes():
+    tracer = SpanTracer(clock=counting_clock())
+    with pytest.raises(RuntimeError):
+        with tracer.span("doomed"):
+            raise RuntimeError("boom")
+    (span,) = tracer.completed
+    assert span.status == "error"
+    assert span.closed
+    assert tracer.depth == 0
+
+
+def test_attrs_set_after_open_are_kept():
+    tracer = SpanTracer(clock=counting_clock())
+    with tracer.span("phase", mode="greedy") as span:
+        span.set(slices=13)
+    (span,) = tracer.completed
+    assert span.attrs == {"mode": "greedy", "slices": 13}
+
+
+def test_orphan_spans_promoted_to_roots():
+    tracer = SpanTracer(clock=counting_clock())
+    with tracer.span("root"):
+        with tracer.span("child"):
+            pass
+    # Drop the root span before rebuilding: the child must survive.
+    child_only = [span for span in tracer.completed if span.name == "child"]
+    roots = build_tree(child_only)
+    assert [node.name for node in roots] == ["child"]
+
+
+def test_disabled_telemetry_spans_are_shared_noops():
+    telemetry = Telemetry(enabled=False)
+    assert telemetry.span("anything", x=1) is NULL_SPAN_CONTEXT
+    with telemetry.span("anything") as span:
+        span.set(attr="ignored")  # absorbed, not recorded
+    assert telemetry.tracer.completed == []
+    assert len(telemetry.registry) == 0
