@@ -12,6 +12,23 @@ _REPORTS = []
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
 
 
+def pytest_report_header(config):
+    """Surface the shared runner's engine settings in the session header.
+
+    The harness honours ``REPRO_JOBS`` (parallel evaluation) and
+    ``REPRO_CACHE_DIR`` (persistent result cache); echoing the resolved
+    configuration makes warm-cache and parallel benchmark sessions
+    distinguishable in CI logs.
+    """
+    from repro.harness.runner import SHARED_RUNNER
+
+    cache = SHARED_RUNNER.result_cache
+    cache_state = "off" if cache is None else str(cache.directory)
+    return (
+        f"repro harness: jobs={SHARED_RUNNER.jobs}, result cache={cache_state}"
+    )
+
+
 def record_report(experiment_id: str, text: str) -> None:
     """Register a report for the end-of-session summary and save it."""
     _REPORTS.append((experiment_id, text))

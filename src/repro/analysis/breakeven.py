@@ -18,11 +18,12 @@ import dataclasses
 from typing import Callable, Optional
 
 from ..compiler.amnesic_pass import PassOptions, compile_amnesic
-from ..core.execution import run_amnesic, run_classic
+from ..core.execution import percent_gain, run_amnesic, run_classic
 from ..energy.epi import EPITable
 from ..energy.model import EnergyModel
 from ..energy.tech import r_default
 from ..isa.program import Program
+from ..trace.recorder import ProfileResult
 
 
 @dataclasses.dataclass
@@ -41,17 +42,22 @@ def edp_gain_at_factor(
     factor: float,
     policy: str = "C-Oracle",
     options: PassOptions = PassOptions(),
+    profile: Optional[ProfileResult] = None,
 ) -> float:
-    """EDP gain (%) with all compute EPIs scaled by *factor*."""
+    """EDP gain (%) with all compute EPIs scaled by *factor*.
+
+    *profile* lets callers reuse one profiling run across every probed
+    factor: scaling compute EPIs changes costs, not the trace (the
+    memory hierarchy is untouched), so the profile is factor-invariant.
+    Only pass a profile gathered under the same machine configuration.
+    """
     scaled = EnergyModel(
         epi=base_model.epi.scaled_nonmem(factor), config=base_model.config
     )
-    compilation = compile_amnesic(program, scaled, options=options)
+    compilation = compile_amnesic(program, scaled, profile=profile, options=options)
     classic = run_classic(program, scaled)
     amnesic = run_amnesic(compilation, policy, scaled)
-    if classic.edp == 0:
-        return 0.0
-    return 100.0 * (classic.edp - amnesic.edp) / classic.edp
+    return percent_gain(classic.edp, amnesic.edp)
 
 
 def find_breakeven(
@@ -63,15 +69,20 @@ def find_breakeven(
     tolerance: float = 0.5,
     options: PassOptions = PassOptions(),
     gain_fn: Optional[Callable[[float], float]] = None,
+    profile: Optional[ProfileResult] = None,
 ) -> BreakevenResult:
     """Bisect for the R multiplier where the EDP gain crosses zero.
 
     ``gain_fn`` may be injected for testing; by default it recompiles and
-    re-runs the benchmark at each probed factor.
+    re-runs the benchmark at each probed factor.  ``profile`` (an
+    existing profiling run of *program* under *model*'s configuration)
+    is forwarded to every probe so the trace is gathered only once.
     """
     if gain_fn is None:
         def gain_fn(factor: float) -> float:
-            return edp_gain_at_factor(program, model, factor, policy, options)
+            return edp_gain_at_factor(
+                program, model, factor, policy, options, profile=profile
+            )
 
     gain_at_default = gain_fn(1.0)
     if gain_at_default <= 0:

@@ -18,13 +18,14 @@ import dataclasses
 from typing import Dict, Iterable, List
 
 from ..compiler.amnesic_pass import PassOptions, compile_amnesic
-from ..core.execution import run_amnesic, run_classic
+from ..core.execution import PolicyComparison, run_amnesic, run_classic
 from ..energy.model import EnergyModel
 from ..isa.program import Program
 from ..machine.config import CacheGeometry, LevelParams, MachineConfig
+from ..machine.cpu import DEFAULT_MAX_INSTRUCTIONS
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(frozen=True)
 class SweepPoint:
     """One configuration of a sweep and its measured gain."""
 
@@ -34,20 +35,28 @@ class SweepPoint:
     time_gain_percent: float
 
 
-def _measure(program: Program, model: EnergyModel, policy: str,
-             options: PassOptions) -> SweepPoint:
+def _measure(
+    program: Program,
+    model: EnergyModel,
+    policy: str,
+    options: PassOptions,
+    parameter: float,
+    max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+) -> SweepPoint:
+    """One sweep configuration, measured as a full policy comparison."""
     compilation = compile_amnesic(program, model, options=options)
-    classic = run_classic(program, model)
-    amnesic = run_amnesic(compilation, policy, model)
-
-    def gain(baseline: float, value: float) -> float:
-        return 100.0 * (baseline - value) / baseline if baseline else 0.0
-
+    classic = run_classic(program, model, max_instructions=max_instructions)
+    amnesic = run_amnesic(
+        compilation, policy, model, max_instructions=max_instructions
+    )
+    comparison = PolicyComparison(
+        policy=policy, classic=classic, amnesic=amnesic, compilation=compilation
+    )
     return SweepPoint(
-        parameter=0.0,  # filled by the caller
-        edp_gain_percent=gain(classic.edp, amnesic.edp),
-        energy_gain_percent=gain(classic.energy_nj, amnesic.energy_nj),
-        time_gain_percent=gain(classic.time_ns, amnesic.time_ns),
+        parameter=parameter,
+        edp_gain_percent=comparison.edp_gain_percent,
+        energy_gain_percent=comparison.energy_gain_percent,
+        time_gain_percent=comparison.time_gain_percent,
     )
 
 
@@ -75,6 +84,7 @@ def memory_energy_sweep(
     factors: Iterable[float] = (0.25, 0.5, 1.0, 2.0, 4.0),
     policy: str = "C-Oracle",
     options: PassOptions = PassOptions(),
+    max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
 ) -> List[SweepPoint]:
     """Gains as communication energy scales (Table 1's trend axis)."""
     points = []
@@ -83,9 +93,10 @@ def memory_energy_sweep(
             epi=base_model.epi,
             config=scaled_memory_config(base_model.config, factor),
         )
-        point = _measure(program, model, policy, options)
-        point.parameter = factor
-        points.append(point)
+        points.append(
+            _measure(program, model, policy, options, parameter=factor,
+                     max_instructions=max_instructions)
+        )
     return points
 
 
@@ -118,6 +129,7 @@ def cache_capacity_sweep(
     factors: Iterable[float] = (0.5, 1.0, 2.0, 4.0),
     policy: str = "FLC",
     options: PassOptions = PassOptions(),
+    max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
 ) -> List[SweepPoint]:
     """Gains as cache capacity scales.
 
@@ -131,9 +143,10 @@ def cache_capacity_sweep(
             epi=base_model.epi,
             config=scaled_cache_config(base_model.config, factor),
         )
-        point = _measure(program, model, policy, options)
-        point.parameter = factor
-        points.append(point)
+        points.append(
+            _measure(program, model, policy, options, parameter=factor,
+                     max_instructions=max_instructions)
+        )
     return points
 
 

@@ -13,20 +13,28 @@ Usage (also available as ``python -m repro``)::
 Telemetry flags work globally and per-subcommand: ``--trace-out FILE``
 streams span and per-RCMP decision events as JSONL, ``--metrics`` prints
 the metrics registry once the command finishes.
+
+Evaluation-engine flags (also global or per-subcommand): ``--jobs N``
+fans benchmark evaluations over N worker processes (default:
+``$REPRO_JOBS`` or serial), ``--cache-dir DIR`` persists evaluated
+results on disk (default: ``$REPRO_CACHE_DIR`` or off), and
+``--no-result-cache`` disables the disk cache even when the environment
+configures one.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
 from .analysis.tables import render_table
 from .compiler import compile_amnesic
-from .core.execution import evaluate_policies
 from .core.policies import POLICY_NAMES
 from .energy.tech import paper_energy_model
 from .harness.experiments import EXPERIMENTS, run_experiment
+from .harness.parallel import default_jobs
 from .harness.runner import SuiteRunner
 from .telemetry.runtime import get_telemetry, telemetry_session
 from .telemetry.summary import render_metrics, render_summary
@@ -71,6 +79,37 @@ def _add_telemetry_flags(command: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_runner_flags(command: argparse.ArgumentParser) -> None:
+    """Accept the evaluation-engine flags after the subcommand too."""
+    command.add_argument(
+        "--jobs", type=int, metavar="N", default=argparse.SUPPRESS,
+        help="evaluate benchmarks over N worker processes "
+             "(default: $REPRO_JOBS or 1)",
+    )
+    command.add_argument(
+        "--cache-dir", metavar="DIR", default=argparse.SUPPRESS,
+        help="persist evaluated results under DIR "
+             "(default: $REPRO_CACHE_DIR or no disk cache)",
+    )
+    command.add_argument(
+        "--no-result-cache", action="store_true", default=argparse.SUPPRESS,
+        help="disable the persistent result cache even if configured",
+    )
+
+
+def _runner_options(args) -> dict:
+    """SuiteRunner kwargs from parsed flags plus the environment."""
+    jobs = getattr(args, "jobs", None)
+    if jobs is None:
+        jobs = default_jobs()
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir is None:
+        cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
+    if getattr(args, "no_result_cache", False):
+        cache_dir = None
+    return {"jobs": jobs, "cache_dir": cache_dir}
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -83,6 +122,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--metrics", action="store_true", default=False,
         help="print the metrics registry when the command finishes",
+    )
+    parser.add_argument(
+        "--jobs", type=int, metavar="N", default=None,
+        help="evaluate benchmarks over N worker processes "
+             "(default: $REPRO_JOBS or 1)",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="persist evaluated results under DIR "
+             "(default: $REPRO_CACHE_DIR or no disk cache)",
+    )
+    parser.add_argument(
+        "--no-result-cache", action="store_true", default=False,
+        help="disable the persistent result cache even if configured",
     )
     sub = parser.add_subparsers(dest="command")
 
@@ -100,6 +153,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("--all-policies", action="store_true")
     run_cmd.add_argument("--scale", type=float, default=1.0)
     _add_telemetry_flags(run_cmd)
+    _add_runner_flags(run_cmd)
     run_cmd.set_defaults(handler=cmd_run)
 
     stats_cmd = sub.add_parser(
@@ -112,6 +166,7 @@ def build_parser() -> argparse.ArgumentParser:
     stats_cmd.add_argument("--top", type=int, default=5,
                            help="hottest spans to list")
     _add_telemetry_flags(stats_cmd)
+    _add_runner_flags(stats_cmd)
     stats_cmd.set_defaults(handler=cmd_stats)
 
     compile_cmd = sub.add_parser("compile", help="show a benchmark's slices")
@@ -133,6 +188,7 @@ def build_parser() -> argparse.ArgumentParser:
     experiment_cmd.add_argument("experiment_id", choices=sorted(EXPERIMENTS))
     experiment_cmd.add_argument("--scale", type=float, default=1.0)
     _add_telemetry_flags(experiment_cmd)
+    _add_runner_flags(experiment_cmd)
     experiment_cmd.set_defaults(handler=cmd_experiment)
 
     experiments_cmd = sub.add_parser("experiments", help="list the registry")
@@ -148,6 +204,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="experiment ids (default: every table/figure except table6)",
     )
     _add_telemetry_flags(report_cmd)
+    _add_runner_flags(report_cmd)
     report_cmd.set_defaults(handler=cmd_report)
     return parser
 
@@ -189,9 +246,12 @@ def cmd_run(args) -> int:
     spec = _lookup(args.benchmark)
     if spec is None:
         return 1
-    program = spec.instantiate(args.scale)
     policies = POLICY_NAMES if (args.all_policies or not args.policy) else (args.policy,)
-    results = evaluate_policies(program, policies=policies, model=paper_energy_model())
+    runner = SuiteRunner(
+        model=paper_energy_model(), scale=args.scale, policies=policies,
+        **_runner_options(args),
+    )
+    results = runner.result(args.benchmark)
     print(_render_policy_table(spec, args.scale, results))
     return 0
 
@@ -202,12 +262,13 @@ def cmd_stats(args) -> int:
     if spec is None:
         return 1
     policies = (args.policy,) if args.policy else POLICY_NAMES
+    runner = SuiteRunner(
+        model=paper_energy_model(), scale=args.scale, policies=policies,
+        **_runner_options(args),
+    )
 
     def evaluate_and_summarise(telemetry) -> None:
-        program = spec.instantiate(args.scale)
-        results = evaluate_policies(
-            program, policies=policies, model=paper_energy_model()
-        )
+        results = runner.result(args.benchmark)
         print(_render_policy_table(spec, args.scale, results))
         print()
         print(render_summary(telemetry, top=args.top))
@@ -263,7 +324,7 @@ def cmd_disasm(args) -> int:
 
 
 def cmd_experiment(args) -> int:
-    runner = SuiteRunner(scale=args.scale)
+    runner = SuiteRunner(scale=args.scale, **_runner_options(args))
     report = run_experiment(args.experiment_id, runner)
     print(report.text)
     return 0
@@ -272,7 +333,7 @@ def cmd_experiment(args) -> int:
 def cmd_report(args) -> int:
     from .harness.report import write_report
 
-    runner = SuiteRunner(scale=args.scale)
+    runner = SuiteRunner(scale=args.scale, **_runner_options(args))
     path = write_report(runner, args.out, experiments=args.experiments)
     print(f"report written to {path}")
     return 0

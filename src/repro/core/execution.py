@@ -58,6 +58,17 @@ class ExecutionOutcome:
         return self.account.edp
 
 
+def percent_gain(baseline: float, value: float) -> float:
+    """Gain of *value* over *baseline* in percent (positive = improvement).
+
+    The one formula behind every y-axis of Figures 3-5, the sweep axes,
+    and the break-even bisection; a zero baseline reports zero gain.
+    """
+    if baseline == 0:
+        return 0.0
+    return 100.0 * (baseline - value) / baseline
+
+
 @dataclasses.dataclass
 class PolicyComparison:
     """Amnesic-vs-classic outcome for one policy."""
@@ -67,11 +78,7 @@ class PolicyComparison:
     amnesic: ExecutionOutcome
     compilation: CompilationResult
 
-    @staticmethod
-    def _gain(baseline: float, value: float) -> float:
-        if baseline == 0:
-            return 0.0
-        return 100.0 * (baseline - value) / baseline
+    _gain = staticmethod(percent_gain)
 
     @property
     def edp_gain_percent(self) -> float:
@@ -173,6 +180,87 @@ def compare(
     )
 
 
+@dataclasses.dataclass
+class EvaluationSetup:
+    """The compile-once/run-many half of a policy evaluation.
+
+    Splitting :func:`evaluate_policies` into *prepare* (classic baseline
+    + compiled binaries) and *measure* (one amnesic run per policy)
+    gives the parallel engine a work unit that survives pickling: every
+    field is plain data, so a worker process can prepare a setup once
+    and measure any number of policies against it — or the whole setup
+    can cross a process boundary inside a result envelope.
+    """
+
+    program: Program
+    model: EnergyModel
+    options: PassOptions
+    max_instructions: int
+    verify: bool
+    classic: ExecutionOutcome
+    probabilistic: CompilationResult
+    all_valid: Optional[CompilationResult] = None
+
+    def compilation_for(self, policy: str) -> CompilationResult:
+        """The binary a policy runs: all-valid for Oracle, else shared.
+
+        The Oracle binary is compiled lazily (reusing the probabilistic
+        run's profile) the first time an Oracle measurement asks for it.
+        """
+        if policy != "Oracle":
+            return self.probabilistic
+        if self.all_valid is None:
+            self.all_valid = compile_amnesic(
+                self.program,
+                self.model,
+                profile=self.probabilistic.profile,
+                options=_oracle_options(self.options),
+            )
+        return self.all_valid
+
+    def measure(self, policy: str) -> PolicyComparison:
+        """Run one policy against the prepared classic baseline."""
+        compilation = self.compilation_for(policy)
+        with get_telemetry().span("evaluate.policy", policy=policy):
+            amnesic = run_amnesic(
+                compilation,
+                policy,
+                self.model,
+                max_instructions=self.max_instructions,
+                verify=self.verify,
+            )
+        return PolicyComparison(
+            policy=policy, classic=self.classic, amnesic=amnesic,
+            compilation=compilation,
+        )
+
+
+def prepare_evaluation(
+    program: Program,
+    model: Optional[EnergyModel] = None,
+    options: PassOptions = PassOptions(),
+    max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+    verify: bool = True,
+) -> EvaluationSetup:
+    """Profile, compile, and run the classic baseline once."""
+    model = model or paper_energy_model()
+    classic = run_classic(program, model, max_instructions=max_instructions)
+    probabilistic = compile_amnesic(
+        program,
+        model,
+        options=dataclasses.replace(options, selection=SELECTION_PROBABILISTIC),
+    )
+    return EvaluationSetup(
+        program=program,
+        model=model,
+        options=options,
+        max_instructions=max_instructions,
+        verify=verify,
+        classic=classic,
+        probabilistic=probabilistic,
+    )
+
+
 def evaluate_policies(
     program: Program,
     policies: Iterable[str] = POLICY_NAMES,
@@ -188,43 +276,16 @@ def evaluate_policies(
     serves Oracle — mirroring the paper's section 5.1 experimental
     setup.
     """
-    model = model or paper_energy_model()
     telemetry = get_telemetry()
     policies = tuple(policies)
     with telemetry.span(
         "evaluate", program=program.name, policies=",".join(policies)
     ):
-        classic = run_classic(program, model, max_instructions=max_instructions)
-
-        probabilistic = compile_amnesic(
+        setup = prepare_evaluation(
             program,
             model,
-            options=dataclasses.replace(options, selection=SELECTION_PROBABILISTIC),
+            options=options,
+            max_instructions=max_instructions,
+            verify=verify,
         )
-        all_valid: Optional[CompilationResult] = None
-
-        results: Dict[str, PolicyComparison] = {}
-        for name in policies:
-            if name == "Oracle":
-                if all_valid is None:
-                    all_valid = compile_amnesic(
-                        program,
-                        model,
-                        profile=probabilistic.profile,
-                        options=_oracle_options(options),
-                    )
-                compilation = all_valid
-            else:
-                compilation = probabilistic
-            with telemetry.span("evaluate.policy", policy=name):
-                amnesic = run_amnesic(
-                    compilation,
-                    name,
-                    model,
-                    max_instructions=max_instructions,
-                    verify=verify,
-                )
-            results[name] = PolicyComparison(
-                policy=name, classic=classic, amnesic=amnesic, compilation=compilation
-            )
-        return results
+        return {name: setup.measure(name) for name in policies}

@@ -14,6 +14,8 @@
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 
 from ..isa.opcodes import Category
 from ..machine.config import Level, MachineConfig
@@ -36,6 +38,37 @@ class EnergyModel:
 
     epi: EPITable
     config: MachineConfig
+
+    # ------------------------------------------------------------------
+    # Identity.
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Stable content hash of everything that prices an event.
+
+        Two models built independently from the same EPI values and
+        machine configuration share a fingerprint, so result caches can
+        key runs by model *value* instead of object identity — the
+        property the persistent result cache and the parallel engine's
+        work units rely on (workers unpickle their own model copy).
+        """
+        payload = {
+            "epi": {
+                category.name: value
+                for category, value in sorted(
+                    self.epi.values.items(), key=lambda item: item[0].name
+                )
+            },
+            "l1_geometry": dataclasses.astuple(self.config.l1_geometry),
+            "l2_geometry": dataclasses.astuple(self.config.l2_geometry),
+            "l1_params": dataclasses.astuple(self.config.l1_params),
+            "l2_params": dataclasses.astuple(self.config.l2_params),
+            "mem_params": dataclasses.astuple(self.config.mem_params),
+            "frequency_ghz": self.config.frequency_ghz,
+            "sfile_access_nj": SFILE_ACCESS_NJ,
+            "ibuff_access_nj": IBUFF_ACCESS_NJ,
+        }
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
     # ------------------------------------------------------------------
     # Classic events.

@@ -1,22 +1,40 @@
-"""Evaluation harness: experiment registry and cached suite runner."""
+"""Evaluation harness: experiments, cached suite runner, parallel engine."""
 
+from .cache import CACHE_FORMAT_VERSION, ResultCache, ResultKey
 from .experiments import (
     EXPERIMENTS,
     ExperimentReport,
     run_all,
     run_experiment,
 )
+from .parallel import (
+    ResultEnvelope,
+    WorkUnit,
+    default_jobs,
+    evaluate_many,
+    evaluate_unit,
+    merge_envelope,
+)
 from .report import DEFAULT_EXPERIMENTS, build_report, write_report
 from .runner import SHARED_RUNNER, SuiteRunner
 
 __all__ = [
+    "CACHE_FORMAT_VERSION",
     "DEFAULT_EXPERIMENTS",
     "EXPERIMENTS",
-    "build_report",
-    "write_report",
     "ExperimentReport",
+    "ResultCache",
+    "ResultEnvelope",
+    "ResultKey",
     "SHARED_RUNNER",
     "SuiteRunner",
+    "WorkUnit",
+    "build_report",
+    "default_jobs",
+    "evaluate_many",
+    "evaluate_unit",
+    "merge_envelope",
     "run_all",
     "run_experiment",
+    "write_report",
 ]

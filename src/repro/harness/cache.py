@@ -1,0 +1,145 @@
+"""Persistent, content-keyed result cache for policy evaluations.
+
+A :class:`ResultCache` maps a fully-descriptive evaluation key —
+benchmark, scale, policy tuple, energy-model fingerprint
+(:meth:`repro.energy.model.EnergyModel.fingerprint`), and instruction
+budget — to the pickled ``{policy: PolicyComparison}`` dict that run
+produced.  Because the key captures everything the evaluation depends
+on *by value*, a warm cache directory lets repeat ``repro`` runs, the
+benchmark harness, and CI skip already-evaluated combinations entirely
+while still serving bitwise-identical experiment tables.
+
+Entries are one zlib-compressed pickle per key under the cache
+directory; writes go through a temporary file plus :func:`os.replace`
+so concurrent writers (parallel workers, overlapping CI jobs) can never
+leave a torn entry behind.  Unreadable or stale-format entries are
+treated as misses, never as errors.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+import pickle
+import tempfile
+import zlib
+from typing import Optional, Sequence, Tuple
+
+from ..telemetry.runtime import get_telemetry
+
+#: Bump to orphan every existing entry when the result layout changes.
+CACHE_FORMAT_VERSION = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class ResultKey:
+    """Everything a policy evaluation's outcome depends on, by value."""
+
+    benchmark: str
+    scale: float
+    policies: Tuple[str, ...]
+    model_fingerprint: str
+    max_instructions: int
+
+    def digest(self) -> str:
+        """Stable hex digest used as the on-disk entry name."""
+        canonical = json.dumps(
+            {
+                "version": CACHE_FORMAT_VERSION,
+                "benchmark": self.benchmark,
+                "scale": repr(self.scale),
+                "policies": list(self.policies),
+                "model": self.model_fingerprint,
+                "max_instructions": self.max_instructions,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Directory of evaluated ``(benchmark, scale, policies, model)`` runs."""
+
+    def __init__(self, directory: os.PathLike | str):
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: ResultKey) -> pathlib.Path:
+        return self.directory / f"{key.digest()}.pkl.z"
+
+    def get(self, key: ResultKey):
+        """The cached result for *key*, or ``None`` on any kind of miss."""
+        telemetry = get_telemetry()
+        path = self._path(key)
+        try:
+            blob = path.read_bytes()
+            result = pickle.loads(zlib.decompress(blob))
+        except FileNotFoundError:
+            telemetry.counter("suite.result_cache", result="miss").inc()
+            return None
+        except (OSError, zlib.error, pickle.UnpicklingError, EOFError,
+                AttributeError, ImportError, IndexError):
+            # A torn, corrupt, or stale-format entry is a miss; drop it
+            # so the rewritten entry is clean.
+            telemetry.counter("suite.result_cache", result="corrupt").inc()
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        telemetry.counter("suite.result_cache", result="hit").inc()
+        return result
+
+    def put(self, key: ResultKey, value) -> None:
+        """Persist *value* under *key* atomically."""
+        blob = zlib.compress(
+            pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL), level=3
+        )
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.directory, prefix=".tmp-", suffix=".pkl.z"
+        )
+        try:
+            with os.fdopen(fd, "wb") as stream:
+                stream.write(blob)
+            os.replace(tmp_name, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        get_telemetry().counter("suite.result_cache", result="store").inc()
+
+    # ------------------------------------------------------------------
+    # Maintenance.
+    # ------------------------------------------------------------------
+    def entries(self) -> Sequence[pathlib.Path]:
+        """Paths of every stored entry (maintenance/tests)."""
+        return sorted(self.directory.glob("*.pkl.z"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self.entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __len__(self) -> int:
+        return len(self.entries())
+
+    def __repr__(self) -> str:
+        return f"ResultCache({str(self.directory)!r}, {len(self)} entries)"
+
+
+def cache_from_env(explicit: Optional[str] = None) -> Optional[ResultCache]:
+    """A :class:`ResultCache` from *explicit* or ``$REPRO_CACHE_DIR``."""
+    directory = explicit or os.environ.get("REPRO_CACHE_DIR") or None
+    return ResultCache(directory) if directory else None

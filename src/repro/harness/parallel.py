@@ -1,0 +1,197 @@
+"""Parallel evaluation engine: fan work units over a process pool.
+
+A full-suite evaluation is embarrassingly parallel — 33 independent
+``(benchmark, scale, policies)`` combinations — but each evaluation is
+interpreter-bound, so threads cannot help.  This module ships the work
+to a :class:`concurrent.futures.ProcessPoolExecutor` instead:
+
+* a :class:`WorkUnit` is a picklable descriptor of one evaluation
+  (benchmark name, scale, policy tuple, energy model, instruction
+  budget).  Workers re-instantiate the benchmark from the registry, so
+  only small descriptors cross the process boundary on the way in;
+* :func:`evaluate_unit` runs one unit under a private telemetry session
+  and returns a :class:`ResultEnvelope` carrying the per-policy
+  comparisons *plus* the worker's metrics-registry dump and structured
+  events (spans, per-RCMP decision records);
+* :func:`evaluate_many` preserves submission order — results come back
+  deterministically no matter which worker finished first — and falls
+  back to in-process execution for ``jobs=1`` or a single unit;
+* :func:`merge_envelope` folds a worker's telemetry back into the
+  parent session (counters add, histograms extend, gauges last-write,
+  events re-emitted to the parent sink), so ``repro stats`` and
+  ``--trace-out`` report a complete picture across workers.
+
+Within one unit the compile-once/run-many structure of
+:func:`repro.core.execution.evaluate_policies` is preserved: the worker
+profiles and compiles once and measures every policy against the same
+classic baseline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.execution import PolicyComparison, evaluate_policies
+from ..core.policies import POLICY_NAMES
+from ..energy.model import EnergyModel
+from ..machine.cpu import DEFAULT_MAX_INSTRUCTIONS
+from ..telemetry.runtime import (
+    Telemetry,
+    get_telemetry,
+    set_telemetry,
+    telemetry_session,
+)
+from ..telemetry.sink import ListSink
+from ..workloads.base import SCALE_SMALL
+from ..workloads.suite import get
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkUnit:
+    """One evaluation to run: everything a worker needs, by value.
+
+    ``capture_metrics``/``capture_events`` control how much telemetry
+    the worker records for the parent-side merge.  Callers mirror the
+    parent session here (metrics when telemetry is enabled, events only
+    when a sink is attached): per-RCMP decision events are the dominant
+    capture cost, and recording them for a parent that would drop them
+    would erase most of the parallel speed-up.
+    """
+
+    benchmark: str
+    scale: float = SCALE_SMALL
+    policies: Tuple[str, ...] = POLICY_NAMES
+    model: Optional[EnergyModel] = None
+    max_instructions: int = DEFAULT_MAX_INSTRUCTIONS
+    capture_metrics: bool = True
+    capture_events: bool = True
+
+    @classmethod
+    def mirroring(
+        cls, telemetry: Optional[Telemetry] = None, **fields
+    ) -> "WorkUnit":
+        """A unit whose capture settings mirror the given session."""
+        telemetry = telemetry or get_telemetry()
+        return cls(
+            capture_metrics=telemetry.enabled,
+            capture_events=telemetry.enabled and telemetry.sink is not None,
+            **fields,
+        )
+
+
+@dataclasses.dataclass
+class ResultEnvelope:
+    """One finished unit: results plus the worker's telemetry capture."""
+
+    benchmark: str
+    scale: float
+    comparisons: Dict[str, PolicyComparison]
+    #: The worker registry's :meth:`~MetricsRegistry.dump` (counters,
+    #: gauges, histogram observations) for the parent-side merge.
+    metrics: List[dict] = dataclasses.field(default_factory=list)
+    #: Structured events (span open/close, RCMP decisions) in emit order.
+    events: List[dict] = dataclasses.field(default_factory=list)
+
+
+def _evaluate(unit: WorkUnit) -> Dict[str, PolicyComparison]:
+    program = get(unit.benchmark).instantiate(unit.scale)
+    return evaluate_policies(
+        program,
+        policies=unit.policies,
+        model=unit.model,
+        max_instructions=unit.max_instructions,
+    )
+
+
+def evaluate_unit(unit: WorkUnit) -> ResultEnvelope:
+    """Evaluate one unit under an isolated telemetry session.
+
+    Runs in a worker process (top-level so it pickles), but is equally
+    valid in-process — :func:`evaluate_many` uses it for the serial
+    fallback, which keeps jobs=1 and jobs=N behaviourally identical.
+    """
+    if not unit.capture_metrics:
+        # Nothing to merge back: run with telemetry hard-off.  A fresh
+        # disabled facade also shields a forked worker from any sink
+        # (open file) inherited from the parent session.
+        previous = set_telemetry(Telemetry(enabled=False))
+        try:
+            comparisons = _evaluate(unit)
+        finally:
+            set_telemetry(previous)
+        return ResultEnvelope(
+            benchmark=unit.benchmark, scale=unit.scale, comparisons=comparisons
+        )
+
+    sink = ListSink() if unit.capture_events else None
+    with telemetry_session(sink=sink) as telemetry:
+        with telemetry.span(
+            "suite.benchmark", benchmark=unit.benchmark, scale=unit.scale
+        ):
+            comparisons = _evaluate(unit)
+        metrics = telemetry.registry.dump()
+    return ResultEnvelope(
+        benchmark=unit.benchmark,
+        scale=unit.scale,
+        comparisons=comparisons,
+        metrics=metrics,
+        events=sink.events if sink is not None else [],
+    )
+
+
+def merge_envelope(
+    envelope: ResultEnvelope, telemetry: Optional[Telemetry] = None
+) -> None:
+    """Fold a worker's telemetry into the (enabled) parent session."""
+    telemetry = telemetry or get_telemetry()
+    if not telemetry.enabled:
+        return
+    telemetry.registry.merge_dump(envelope.metrics)
+    if telemetry.sink is not None:
+        for event in envelope.events:
+            telemetry.sink.emit(event)
+
+
+def default_jobs() -> int:
+    """Worker count from ``$REPRO_JOBS`` (1 = serial, the default)."""
+    raw = os.environ.get("REPRO_JOBS", "").strip()
+    if not raw:
+        return 1
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        raise ValueError(
+            f"REPRO_JOBS must be a positive integer, got {raw!r}"
+        ) from None
+
+
+def evaluate_many(
+    units: Sequence[WorkUnit],
+    jobs: int = 1,
+    merge_telemetry: bool = True,
+) -> List[ResultEnvelope]:
+    """Evaluate *units*, fanning out over *jobs* worker processes.
+
+    The returned list is index-aligned with *units* regardless of
+    completion order.  With ``jobs <= 1`` (or a single unit) everything
+    runs in-process; telemetry is still captured per unit and merged,
+    so the two paths produce identical counter totals.
+    """
+    units = list(units)
+    telemetry = get_telemetry()
+    workers = min(max(1, jobs), len(units)) if units else 1
+    with telemetry.span("suite.parallel", units=len(units), jobs=workers):
+        if workers <= 1:
+            envelopes = [evaluate_unit(unit) for unit in units]
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                # Executor.map preserves input order, giving
+                # deterministic result ordering for free.
+                envelopes = list(pool.map(evaluate_unit, units))
+    if merge_telemetry:
+        for envelope in envelopes:
+            merge_envelope(envelope, telemetry)
+    return envelopes

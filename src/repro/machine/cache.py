@@ -56,6 +56,13 @@ class Cache:
         # Ordering encodes recency: last item is most recently used.
         self._sets: List[OrderedDict] = [OrderedDict() for _ in range(geometry.sets)]
         self._line_shift = geometry.line_words.bit_length() - 1
+        if 1 << self._line_shift != geometry.line_words:
+            # CacheGeometry.__post_init__ rejects this; guard against a
+            # geometry constructed around the dataclass (e.g. __new__).
+            raise ValueError(
+                f"line_words must be a power of two for shift-based line "
+                f"mapping, got {geometry.line_words}"
+            )
 
     # ------------------------------------------------------------------
     # Address mapping.

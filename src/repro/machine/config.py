@@ -57,11 +57,26 @@ class CacheGeometry:
 
     def __post_init__(self) -> None:
         if self.total_lines <= 0 or self.associativity <= 0 or self.line_words <= 0:
-            raise ValueError("cache geometry fields must be positive")
+            raise ValueError(
+                f"cache geometry fields must be positive, got "
+                f"total_lines={self.total_lines}, "
+                f"associativity={self.associativity}, "
+                f"line_words={self.line_words}"
+            )
         if self.total_lines % self.associativity:
-            raise ValueError("total_lines must be a multiple of associativity")
+            raise ValueError(
+                f"total_lines ({self.total_lines}) must be a multiple of "
+                f"associativity ({self.associativity}) so the sets divide "
+                f"evenly"
+            )
         if self.line_words & (self.line_words - 1):
-            raise ValueError("line_words must be a power of two")
+            # Cache.line_address maps word -> line with a right shift of
+            # log2(line_words); a non-power-of-two would silently map
+            # addresses to the wrong line.
+            raise ValueError(
+                f"line_words must be a power of two (shift-based line "
+                f"mapping), got {self.line_words}"
+            )
 
     @property
     def sets(self) -> int:

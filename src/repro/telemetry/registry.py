@@ -214,6 +214,49 @@ class MetricsRegistry:
             for (name, labels), metric in sorted(self._series.items())
         }
 
+    # ------------------------------------------------------------------
+    # Cross-process transfer (the parallel engine's telemetry merge).
+    # ------------------------------------------------------------------
+    def dump(self) -> List[Dict[str, object]]:
+        """Picklable, merge-ready view of every series.
+
+        Unlike :meth:`snapshot` (which collapses histograms into summary
+        statistics), the dump keeps raw histogram observations so a
+        receiving registry can merge them losslessly.
+        """
+        entries: List[Dict[str, object]] = []
+        for (name, labels), metric in sorted(self._series.items()):
+            entry: Dict[str, object] = {
+                "kind": metric.kind, "name": name, "labels": list(labels)
+            }
+            if metric.kind == "histogram":
+                entry["values"] = list(metric._values)
+            else:
+                entry["value"] = metric.value
+            entries.append(entry)
+        return entries
+
+    def merge_dump(self, entries: List[Dict[str, object]]) -> None:
+        """Fold a :meth:`dump` from another registry into this one.
+
+        Counters add, histograms extend with the foreign observations,
+        and gauges take the incoming value (last writer wins — gauges
+        describe instantaneous state, which has no cross-process sum).
+        """
+        for entry in entries:
+            labels = dict(entry["labels"])
+            kind = entry["kind"]
+            if kind == "counter":
+                self.counter(entry["name"], **labels).inc(entry["value"])
+            elif kind == "gauge":
+                self.gauge(entry["name"], **labels).set(entry["value"])
+            elif kind == "histogram":
+                histogram = self.histogram(entry["name"], **labels)
+                for value in entry["values"]:
+                    histogram.observe(value)
+            else:
+                raise ValueError(f"unknown metric kind {kind!r} in dump")
+
     def clear(self) -> None:
         self._series.clear()
 

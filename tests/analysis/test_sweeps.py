@@ -1,8 +1,11 @@
 """Design-space sweeps."""
 
+import dataclasses
+
 import pytest
 
 from repro.analysis.sweeps import (
+    SweepPoint,
     cache_capacity_sweep,
     memory_energy_sweep,
     scaled_cache_config,
@@ -31,6 +34,23 @@ def test_scaled_cache_config_respects_associativity():
     assert config.l1_geometry.total_lines % config.l1_geometry.associativity == 0
     doubled = scaled_cache_config(tiny_config(), 2.0)
     assert doubled.l1_geometry.total_lines == 2 * tiny_config().l1_geometry.total_lines
+
+
+def test_sweep_point_is_immutable():
+    point = SweepPoint(parameter=1.0, edp_gain_percent=2.0,
+                       energy_gain_percent=3.0, time_gain_percent=4.0)
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        point.parameter = 9.0
+
+
+@pytest.mark.integration
+def test_sweep_honours_max_instructions():
+    """The instruction budget reaches the underlying runs."""
+    program = build_spill_kernel(iterations=12, chain=2, gap=8)
+    with pytest.raises(Exception, match="[Ii]nstruction"):
+        memory_energy_sweep(
+            program, make_model(), factors=(1.0,), max_instructions=10
+        )
 
 
 @pytest.mark.integration

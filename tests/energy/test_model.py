@@ -85,3 +85,25 @@ def test_divide_latency_is_multicycle():
     assert alu.time_ns == model.config.cycle_ns
     assert div.time_ns == 8 * model.config.cycle_ns
     assert fdiv.time_ns == 12 * model.config.cycle_ns
+
+
+# ----------------------------------------------------------------------
+# Content fingerprint (result-cache identity).
+# ----------------------------------------------------------------------
+def test_fingerprint_stable_across_equal_models():
+    """Two independently built but value-equal models share an identity."""
+    assert make_model().fingerprint() == make_model().fingerprint()
+
+
+def test_fingerprint_tracks_epi_values():
+    base = make_model()
+    scaled = EnergyModel(epi=base.epi.scaled_nonmem(2.0), config=base.config)
+    assert scaled.fingerprint() != base.fingerprint()
+
+
+def test_fingerprint_tracks_machine_config():
+    from repro.energy.tech import paper_energy_model
+
+    base = make_model()
+    paper = EnergyModel(epi=base.epi, config=paper_energy_model().config)
+    assert paper.fingerprint() != base.fingerprint()

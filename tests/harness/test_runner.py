@@ -33,18 +33,32 @@ def test_cache_keyed_on_scale():
     assert small_stats.dynamic_instructions < large_stats.dynamic_instructions
 
 
-def test_model_swap_without_invalidate_raises():
+def test_cache_keyed_on_model_fingerprint():
+    """The cache keys the model by value, so results can never mix models.
+
+    A value-equal replacement keeps serving the warm cache; a genuinely
+    different model re-evaluates transparently — no manual invalidate.
+    """
+    from repro.energy import EnergyModel
     from repro.energy.tech import paper_energy_model
 
     runner = SuiteRunner(scale=0.25)
-    runner.result("bfs")
-    runner.model = paper_energy_model()
-    with pytest.raises(RuntimeError, match="invalidate"):
-        runner.result("bfs")
-    with pytest.raises(RuntimeError, match="invalidate"):
-        runner.result("is")  # even an uncached benchmark must not mix models
-    runner.invalidate()
-    assert runner.result("bfs")  # fresh model accepted after invalidate
+    first = runner.result("bfs")
+    runner.model = paper_energy_model()  # value-equal -> same fingerprint
+    assert runner.result("bfs") is first
+    original = runner.model
+    runner.model = EnergyModel(
+        epi=original.epi.scaled_nonmem(2.0), config=original.config
+    )
+    swapped = runner.result("bfs")
+    assert swapped is not first
+    assert (
+        swapped["Compiler"].classic.energy_nj
+        != first["Compiler"].classic.energy_nj
+    )
+    # Both entries stay cached under their own fingerprints.
+    runner.model = original
+    assert runner.result("bfs") is first
 
 
 def test_registry_covers_every_table_and_figure():

@@ -21,6 +21,14 @@ def test_geometry_validation():
         CacheGeometry(total_lines=0, associativity=1)
 
 
+def test_cache_guards_against_unvalidated_geometry():
+    """Even a geometry smuggled past __post_init__ cannot corrupt mapping."""
+    geometry = CacheGeometry(total_lines=4, associativity=2, line_words=4)
+    object.__setattr__(geometry, "line_words", 3)  # bypass validation
+    with pytest.raises(ValueError, match="power of two.*got 3"):
+        Cache(geometry)
+
+
 def test_line_mapping():
     cache = small_cache(line_words=4)
     assert cache.line_address(0) == cache.line_address(3)

@@ -52,3 +52,25 @@ def test_geometry_sets():
     geometry = CacheGeometry(total_lines=16, associativity=4)
     assert geometry.sets == 4
     assert geometry.capacity_words == 128
+
+
+def test_geometry_rejects_nonpositive_fields_with_values():
+    with pytest.raises(ValueError, match="total_lines=0"):
+        CacheGeometry(total_lines=0, associativity=1)
+    with pytest.raises(ValueError, match="associativity=-2"):
+        CacheGeometry(total_lines=16, associativity=-2)
+    with pytest.raises(ValueError, match="line_words=0"):
+        CacheGeometry(total_lines=16, associativity=4, line_words=0)
+
+
+def test_geometry_rejects_indivisible_associativity_with_values():
+    with pytest.raises(ValueError, match=r"total_lines \(10\).*associativity \(4\)"):
+        CacheGeometry(total_lines=10, associativity=4)
+
+
+def test_geometry_rejects_non_power_of_two_line_words():
+    """line_words feeds a shift-based line mapping: power of two or bust."""
+    with pytest.raises(ValueError, match="power of two.*got 6"):
+        CacheGeometry(total_lines=16, associativity=4, line_words=6)
+    # Powers of two other than the default 8 are fine.
+    assert CacheGeometry(total_lines=16, associativity=4, line_words=16)
