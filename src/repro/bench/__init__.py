@@ -1,0 +1,60 @@
+"""Continuous benchmarking: BENCH artifacts, fidelity scoring, diffing.
+
+The observability loop-closer over :mod:`repro.harness` and
+:mod:`repro.telemetry`: ``repro bench`` runs the experiment suite under
+telemetry, scores the results against the paper's reported numbers
+(:mod:`repro.bench.paper_reference`), persists everything as a
+schema-versioned ``BENCH_*.json`` artifact, and diffs artifacts over
+time so fidelity or performance regressions fail CI instead of landing
+silently.  See ``docs/observability.md`` ("Continuous benchmarking").
+"""
+
+from .artifact import (
+    BENCH_SCHEMA_VERSION,
+    BenchArtifact,
+    BenchReport,
+    environment_fingerprint,
+    timestamp,
+)
+from .collect import BENCH_DEFAULT_EXPERIMENTS, BenchRunner
+from .compare import (
+    DEFAULT_FIDELITY_NOISE_PP,
+    DEFAULT_TIMING_NOISE,
+    BenchDiff,
+    MetricVerdict,
+    compare,
+)
+from .paper_reference import (
+    BOUNDS,
+    REFERENCES,
+    SCORED_EXPERIMENTS,
+    FidelityMetric,
+    ReferenceBound,
+    ReferenceSeries,
+    fidelity_metrics,
+)
+from .render import render_bench_diff, render_bench_report
+
+__all__ = [
+    "BENCH_DEFAULT_EXPERIMENTS",
+    "BENCH_SCHEMA_VERSION",
+    "BOUNDS",
+    "BenchArtifact",
+    "BenchDiff",
+    "BenchReport",
+    "BenchRunner",
+    "DEFAULT_FIDELITY_NOISE_PP",
+    "DEFAULT_TIMING_NOISE",
+    "FidelityMetric",
+    "MetricVerdict",
+    "REFERENCES",
+    "ReferenceBound",
+    "ReferenceSeries",
+    "SCORED_EXPERIMENTS",
+    "compare",
+    "environment_fingerprint",
+    "fidelity_metrics",
+    "render_bench_diff",
+    "render_bench_report",
+    "timestamp",
+]

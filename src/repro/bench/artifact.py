@@ -1,0 +1,151 @@
+"""Schema-versioned ``BENCH_*.json`` artifacts.
+
+A :class:`BenchArtifact` is the machine-readable record of one
+benchmarking run: per-experiment wall clock, per-phase span timings,
+throughput, RCMP decision counts, result-cache effectiveness, and
+fidelity scores against the paper — plus an environment fingerprint
+(python, platform, cpu count, energy-model fingerprint, git sha) so two
+artifacts can be diffed knowing *what* produced them.
+
+The JSON layout is guarded by :data:`BENCH_SCHEMA_VERSION`; bump it when
+a field changes meaning so stale baselines fail loudly instead of
+producing nonsense verdicts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import pathlib
+import platform
+import subprocess
+import time
+from typing import Dict, List, Optional
+
+from .paper_reference import FidelityMetric
+
+#: Bump on any change to the artifact field layout or metric semantics.
+BENCH_SCHEMA_VERSION = 1
+
+
+@dataclasses.dataclass
+class BenchReport:
+    """Everything measured for one experiment in one benchmarking run."""
+
+    experiment_id: str
+    title: str
+    wall_s: float
+    #: ``{span name: {"self_s": float, "count": int}}`` from the
+    #: telemetry session's :func:`repro.telemetry.phase_totals`.
+    phases: Dict[str, Dict[str, float]]
+    #: Dynamic instructions retired per wall-clock second (0.0 when the
+    #: whole experiment was served from caches).
+    throughput_ips: float
+    instructions: int
+    #: ``{outcome: count}`` summed over policies (fired/skipped/fallback).
+    rcmp: Dict[str, int]
+    #: ``{layer: {result: count}}`` — memory and disk result caches.
+    cache: Dict[str, Dict[str, int]]
+    #: Hit fraction over both layers' lookups, or ``None`` with none.
+    cache_hit_rate: Optional[float]
+    fidelity: List[FidelityMetric]
+
+    @property
+    def fidelity_failures(self) -> List[FidelityMetric]:
+        return [metric for metric in self.fidelity if not metric.within]
+
+    def to_json(self) -> dict:
+        payload = dataclasses.asdict(self)
+        payload["fidelity"] = [dataclasses.asdict(m) for m in self.fidelity]
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "BenchReport":
+        fields = dict(payload)
+        fields["fidelity"] = [
+            FidelityMetric(**metric) for metric in payload.get("fidelity", ())
+        ]
+        return cls(**fields)
+
+
+@dataclasses.dataclass
+class BenchArtifact:
+    """One benchmarking run: environment fingerprint + per-experiment reports."""
+
+    schema_version: int
+    created: str
+    environment: Dict[str, object]
+    reports: Dict[str, BenchReport]
+
+    def to_json(self) -> dict:
+        return {
+            "schema_version": self.schema_version,
+            "created": self.created,
+            "environment": self.environment,
+            "reports": {
+                experiment_id: report.to_json()
+                for experiment_id, report in self.reports.items()
+            },
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "BenchArtifact":
+        version = payload.get("schema_version")
+        if version != BENCH_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported bench artifact schema {version!r} "
+                f"(this build reads version {BENCH_SCHEMA_VERSION}); "
+                f"refresh the artifact with `repro bench`"
+            )
+        return cls(
+            schema_version=version,
+            created=payload.get("created", ""),
+            environment=dict(payload.get("environment", {})),
+            reports={
+                experiment_id: BenchReport.from_json(report)
+                for experiment_id, report in payload.get("reports", {}).items()
+            },
+        )
+
+    def write(self, path: os.PathLike | str) -> pathlib.Path:
+        target = pathlib.Path(path)
+        if target.parent != pathlib.Path(""):
+            target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(self.to_json(), indent=2) + "\n")
+        return target
+
+    @classmethod
+    def load(cls, path: os.PathLike | str) -> "BenchArtifact":
+        return cls.from_json(json.loads(pathlib.Path(path).read_text()))
+
+
+def _git_sha() -> Optional[str]:
+    """The checked-out commit, or ``None`` outside a git work tree."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=5,
+            cwd=pathlib.Path(__file__).resolve().parent,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else None
+
+
+def environment_fingerprint(runner) -> Dict[str, object]:
+    """What produced an artifact: interpreter, machine, runner config."""
+    fingerprint: Dict[str, object] = {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "git_sha": _git_sha(),
+    }
+    fingerprint.update(runner.describe())
+    return fingerprint
+
+
+def timestamp() -> str:
+    """UTC creation stamp, also used for default artifact filenames."""
+    return time.strftime("%Y%m%dT%H%M%SZ", time.gmtime())

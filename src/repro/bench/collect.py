@@ -1,0 +1,120 @@
+"""Benchmark collection: run experiments under telemetry, assemble reports.
+
+:class:`BenchRunner` executes a selection of registered experiments
+against a :class:`~repro.harness.runner.SuiteRunner` (so ``--jobs`` and
+the persistent result cache are honoured exactly as in a normal run),
+wrapping each experiment in its own telemetry session.  From that
+session it assembles one :class:`~repro.bench.artifact.BenchReport`:
+
+* wall clock and per-phase span self-times
+  (:func:`repro.telemetry.phase_totals`);
+* throughput — dynamic instructions retired per second, summed over
+  every classic/profiling/amnesic run the experiment triggered;
+* RCMP outcome counts and result-cache effectiveness;
+* fidelity scores against the paper
+  (:func:`repro.bench.paper_reference.fidelity_metrics`).
+
+Experiments share the runner's memoisation, so the *first* experiment
+that needs the responsive suite pays for it and the rest ride the
+cache — exactly like a real session.  The cache counters in each report
+record who paid.
+
+Phase timings come from the benchmarking process's own span tracer.
+With ``jobs > 1`` the worker-side profile/compile/execute time rolls up
+under the parent's ``suite.parallel`` span (worker span *events* cannot
+be merged into one forest — span ids restart per process), while the
+counter-derived metrics (instructions, RCMP outcomes, cache traffic)
+merge exactly; wall clock and throughput are complete either way.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional, Sequence
+
+from ..harness.experiments import EXPERIMENTS, run_experiment
+from ..harness.runner import SuiteRunner
+from ..telemetry.runtime import telemetry_session
+from ..telemetry.summary import cache_hit_rate, cache_stats, phase_totals
+from .artifact import (
+    BENCH_SCHEMA_VERSION,
+    BenchArtifact,
+    BenchReport,
+    environment_fingerprint,
+    timestamp,
+)
+from .paper_reference import fidelity_metrics
+
+#: The default benchmarking selection: every experiment with encoded
+#: paper references (fidelity-scored) — one responsive-suite evaluation
+#: serves all five.
+BENCH_DEFAULT_EXPERIMENTS = ("fig3", "fig4", "fig5", "table4", "table5")
+
+
+class BenchRunner:
+    """Executes the experiment suite and assembles a ``BenchArtifact``."""
+
+    def __init__(
+        self,
+        runner: Optional[SuiteRunner] = None,
+        experiments: Optional[Sequence[str]] = None,
+        clock=time.perf_counter,
+    ):
+        self.runner = runner if runner is not None else SuiteRunner.from_env()
+        if experiments is None:
+            experiments = BENCH_DEFAULT_EXPERIMENTS
+        unknown = [e for e in experiments if e not in EXPERIMENTS]
+        if unknown:
+            raise KeyError(
+                f"unknown experiments: {unknown}; known: {sorted(EXPERIMENTS)}"
+            )
+        self.experiments = tuple(experiments)
+        self._clock = clock
+
+    def run(self) -> BenchArtifact:
+        reports: Dict[str, BenchReport] = {}
+        for experiment_id in self.experiments:
+            reports[experiment_id] = self.bench_one(experiment_id)
+        return BenchArtifact(
+            schema_version=BENCH_SCHEMA_VERSION,
+            created=timestamp(),
+            environment=environment_fingerprint(self.runner),
+            reports=reports,
+        )
+
+    def bench_one(self, experiment_id: str) -> BenchReport:
+        """Run one experiment under a fresh telemetry session."""
+        with telemetry_session() as telemetry:
+            started = self._clock()
+            report = run_experiment(experiment_id, self.runner)
+            wall_s = self._clock() - started
+            registry = telemetry.registry
+            phases = {
+                total.name: {"self_s": total.self_time_s, "count": total.count}
+                for total in phase_totals(telemetry.tracer.tree())
+            }
+            instructions = int(sum(
+                series.value
+                for series in registry.series("runstats.dynamic_instructions")
+            ))
+            rcmp: Dict[str, int] = {}
+            for series in registry.series("rcmp.outcomes"):
+                outcome = dict(series.labels).get("outcome", "?")
+                rcmp[outcome] = rcmp.get(outcome, 0) + series.value
+            caches = cache_stats(registry)
+            combined: Dict[str, int] = {}
+            for counts in caches.values():
+                for result, count in counts.items():
+                    combined[result] = combined.get(result, 0) + count
+        return BenchReport(
+            experiment_id=experiment_id,
+            title=report.title,
+            wall_s=wall_s,
+            phases=phases,
+            throughput_ips=instructions / wall_s if wall_s > 0 else 0.0,
+            instructions=instructions,
+            rcmp=rcmp,
+            cache=caches,
+            cache_hit_rate=cache_hit_rate(combined),
+            fidelity=fidelity_metrics(report),
+        )

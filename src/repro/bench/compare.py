@@ -1,0 +1,254 @@
+"""Baseline diffing: per-metric verdicts between two ``BENCH_*`` artifacts.
+
+:func:`compare` walks the experiments two artifacts share and classifies
+every metric as *improved*, *unchanged* (within noise), or *regressed*:
+
+* **timing metrics** (wall clock, per-phase self-times, throughput) use
+  a configurable relative-noise threshold plus an absolute floor, since
+  sub-millisecond phases flap with scheduler jitter and shared CI
+  runners are noisy by construction;
+* **fidelity metrics** use hard thresholds: the simulator is
+  deterministic, so a fidelity value only moves when code changed
+  behaviour.  Falling out of a paper tolerance band, drifting further
+  from the paper than ``fidelity_noise_pp``, or dropping a previously
+  scored metric is a regression.
+
+The CI gate treats the two classes differently (fidelity hard, timing
+warn-only): :attr:`BenchDiff.fidelity_regressions` and
+:attr:`BenchDiff.timing_regressions` keep them separable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from .artifact import BenchArtifact, BenchReport
+
+#: Verdict values.
+IMPROVED = "improved"
+UNCHANGED = "unchanged"
+REGRESSED = "regressed"
+ADDED = "added"
+REMOVED = "removed"
+
+#: Metric kinds.
+KIND_TIMING = "timing"
+KIND_FIDELITY = "fidelity"
+KIND_COUNTER = "counter"
+
+#: Default noise thresholds.
+DEFAULT_TIMING_NOISE = 0.25  # 25% relative
+DEFAULT_TIMING_FLOOR_S = 0.005  # ignore sub-5ms timing drift
+DEFAULT_FIDELITY_NOISE_PP = 0.25  # abs-error drift in percentage points
+
+
+@dataclasses.dataclass(frozen=True)
+class MetricVerdict:
+    """One metric's fate between baseline and current."""
+
+    metric: str  # e.g. "fig4/wall_s" or "fig4/fidelity/energy/Compiler/mcf"
+    kind: str
+    verdict: str
+    baseline: Optional[float]
+    current: Optional[float]
+    note: str = ""
+
+    @property
+    def delta(self) -> Optional[float]:
+        if self.baseline is None or self.current is None:
+            return None
+        return self.current - self.baseline
+
+
+@dataclasses.dataclass
+class BenchDiff:
+    """Every verdict from one baseline/current comparison."""
+
+    verdicts: List[MetricVerdict]
+    experiments: List[str]
+    skipped_experiments: List[str]
+
+    def _regressions(self, kind: str) -> List[MetricVerdict]:
+        return [
+            verdict for verdict in self.verdicts
+            if verdict.kind == kind and verdict.verdict in (REGRESSED, REMOVED)
+        ]
+
+    @property
+    def fidelity_regressions(self) -> List[MetricVerdict]:
+        return self._regressions(KIND_FIDELITY)
+
+    @property
+    def timing_regressions(self) -> List[MetricVerdict]:
+        return self._regressions(KIND_TIMING)
+
+    def regressed(self, include_timing: bool = False) -> List[MetricVerdict]:
+        """The verdicts a regression gate should fail on (fidelity is
+        always gated; timing only when *include_timing* is set)."""
+        gated = list(self.fidelity_regressions)
+        if include_timing:
+            gated.extend(self.timing_regressions)
+        return gated
+
+    def to_json(self) -> dict:
+        return {
+            "experiments": self.experiments,
+            "skipped_experiments": self.skipped_experiments,
+            "verdicts": [
+                dataclasses.asdict(verdict) for verdict in self.verdicts
+            ],
+        }
+
+
+def _timing_verdict(
+    metric: str,
+    baseline: Optional[float],
+    current: Optional[float],
+    noise: float,
+    floor: float,
+    higher_is_better: bool = False,
+) -> MetricVerdict:
+    if baseline is None:
+        return MetricVerdict(metric, KIND_TIMING, ADDED, baseline, current)
+    if current is None:
+        return MetricVerdict(metric, KIND_TIMING, REMOVED, baseline, current)
+    delta = current - baseline
+    if higher_is_better:
+        delta = -delta
+    worse = delta > max(noise * abs(baseline), floor)
+    better = -delta > max(noise * abs(baseline), floor)
+    verdict = REGRESSED if worse else (IMPROVED if better else UNCHANGED)
+    return MetricVerdict(metric, KIND_TIMING, verdict, baseline, current)
+
+
+def _fidelity_verdicts(
+    experiment_id: str,
+    baseline: BenchReport,
+    current: BenchReport,
+    noise_pp: float,
+) -> List[MetricVerdict]:
+    verdicts: List[MetricVerdict] = []
+    baseline_metrics = {metric.key: metric for metric in baseline.fidelity}
+    current_metrics = {metric.key: metric for metric in current.fidelity}
+    for key in sorted(set(baseline_metrics) | set(current_metrics)):
+        name = f"{experiment_id}/fidelity/{key.split('/', 1)[1]}"
+        old = baseline_metrics.get(key)
+        new = current_metrics.get(key)
+        if old is None:
+            verdicts.append(
+                MetricVerdict(name, KIND_FIDELITY, ADDED, None, new.abs_error)
+            )
+            continue
+        if new is None:
+            # A fidelity metric that vanished can no longer be gated on:
+            # treated as a regression (REMOVED counts against the gate).
+            verdicts.append(
+                MetricVerdict(
+                    name, KIND_FIDELITY, REMOVED, old.abs_error, None,
+                    note="metric no longer reported",
+                )
+            )
+            continue
+        if old.within and not new.within:
+            verdict, note = REGRESSED, (
+                f"left the paper tolerance band (±{new.tolerance_pp:g}pp)"
+            )
+        elif not old.within and new.within:
+            verdict, note = IMPROVED, "re-entered the paper tolerance band"
+        elif new.abs_error - old.abs_error > noise_pp:
+            verdict, note = REGRESSED, "moved further from the paper"
+        elif old.abs_error - new.abs_error > noise_pp:
+            verdict, note = IMPROVED, "moved closer to the paper"
+        else:
+            verdict, note = UNCHANGED, ""
+        verdicts.append(
+            MetricVerdict(
+                name, KIND_FIDELITY, verdict, old.abs_error, new.abs_error,
+                note=note,
+            )
+        )
+    return verdicts
+
+
+def _counter_verdicts(
+    experiment_id: str, baseline: BenchReport, current: BenchReport
+) -> List[MetricVerdict]:
+    verdicts: List[MetricVerdict] = []
+    outcomes = sorted(set(baseline.rcmp) | set(current.rcmp))
+    for outcome in outcomes:
+        old = baseline.rcmp.get(outcome)
+        new = current.rcmp.get(outcome)
+        # RCMP counts are decision-behaviour, not performance: any change
+        # is surfaced, but classification stays informational via kind.
+        verdicts.append(
+            MetricVerdict(
+                f"{experiment_id}/rcmp/{outcome}", KIND_COUNTER,
+                UNCHANGED if old == new else "changed",
+                None if old is None else float(old),
+                None if new is None else float(new),
+            )
+        )
+    old_rate = baseline.cache_hit_rate
+    new_rate = current.cache_hit_rate
+    verdicts.append(
+        MetricVerdict(
+            f"{experiment_id}/cache_hit_rate", KIND_COUNTER,
+            UNCHANGED if old_rate == new_rate else "changed",
+            old_rate, new_rate,
+        )
+    )
+    return verdicts
+
+
+def compare(
+    baseline: BenchArtifact,
+    current: BenchArtifact,
+    timing_noise: float = DEFAULT_TIMING_NOISE,
+    timing_floor_s: float = DEFAULT_TIMING_FLOOR_S,
+    fidelity_noise_pp: float = DEFAULT_FIDELITY_NOISE_PP,
+) -> BenchDiff:
+    """Diff two artifacts; experiments only one side ran are skipped.
+
+    Skipping (rather than failing) lets a quick ``--experiments
+    fig4,table4`` CI run gate against a fuller committed baseline; the
+    skipped ids are reported so a silently shrinking run is visible.
+    """
+    shared = [
+        experiment_id for experiment_id in baseline.reports
+        if experiment_id in current.reports
+    ]
+    skipped = sorted(
+        set(baseline.reports).symmetric_difference(current.reports)
+    )
+    verdicts: List[MetricVerdict] = []
+    for experiment_id in shared:
+        old, new = baseline.reports[experiment_id], current.reports[experiment_id]
+        verdicts.append(
+            _timing_verdict(
+                f"{experiment_id}/wall_s", old.wall_s, new.wall_s,
+                timing_noise, timing_floor_s,
+            )
+        )
+        verdicts.append(
+            _timing_verdict(
+                f"{experiment_id}/throughput_ips",
+                old.throughput_ips, new.throughput_ips,
+                timing_noise, timing_floor_s, higher_is_better=True,
+            )
+        )
+        for phase in sorted(set(old.phases) & set(new.phases)):
+            verdicts.append(
+                _timing_verdict(
+                    f"{experiment_id}/phase/{phase}",
+                    old.phases[phase]["self_s"], new.phases[phase]["self_s"],
+                    timing_noise, timing_floor_s,
+                )
+            )
+        verdicts.extend(
+            _fidelity_verdicts(experiment_id, old, new, fidelity_noise_pp)
+        )
+        verdicts.extend(_counter_verdicts(experiment_id, old, new))
+    return BenchDiff(
+        verdicts=verdicts, experiments=shared, skipped_experiments=skipped
+    )

@@ -1,0 +1,120 @@
+"""Human-readable views over bench artifacts and baseline diffs."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..analysis.tables import render_table
+from .artifact import BenchArtifact
+from .compare import KIND_COUNTER, UNCHANGED, BenchDiff, MetricVerdict
+
+FORMAT_TEXT = "text"
+FORMAT_MARKDOWN = "markdown"
+
+
+def _fmt(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def render_bench_report(artifact: BenchArtifact) -> str:
+    """One summary table over an artifact's per-experiment reports."""
+    rows = []
+    for experiment_id, report in artifact.reports.items():
+        failures = len(report.fidelity_failures)
+        rows.append(
+            [
+                experiment_id,
+                f"{report.wall_s:.2f}",
+                f"{report.throughput_ips:,.0f}",
+                "-" if report.cache_hit_rate is None
+                else f"{100 * report.cache_hit_rate:.0f}%",
+                sum(report.rcmp.values()),
+                len(report.fidelity),
+                failures if failures else "ok",
+            ]
+        )
+    table = render_table(
+        ["experiment", "wall s", "instr/s", "cache hits", "RCMPs",
+         "fidelity metrics", "out-of-tolerance"],
+        rows, title="bench summary",
+    )
+    env = artifact.environment
+    header = (
+        f"bench artifact (schema v{artifact.schema_version}, "
+        f"{artifact.created})\n"
+        f"python {env.get('python')} on {env.get('platform')}, "
+        f"git {str(env.get('git_sha'))[:12]}, "
+        f"scale {env.get('scale')}, jobs {env.get('jobs')}"
+    )
+    return f"{header}\n\n{table}"
+
+
+def _verdict_rows(verdicts: Sequence[MetricVerdict]) -> List[List[str]]:
+    rows = []
+    for verdict in verdicts:
+        delta = verdict.delta
+        rows.append(
+            [
+                verdict.metric,
+                _fmt(verdict.baseline),
+                _fmt(verdict.current),
+                "-" if delta is None else f"{delta:+.4g}",
+                verdict.verdict,
+                verdict.note,
+            ]
+        )
+    return rows
+
+
+def render_bench_diff(
+    diff: BenchDiff,
+    fmt: str = FORMAT_TEXT,
+    show_unchanged: bool = False,
+) -> str:
+    """The diff as a table (text or markdown) plus a verdict summary.
+
+    By default only metrics that *moved* are listed (unchanged rows are
+    counted in the summary line); ``show_unchanged=True`` lists all.
+    """
+    interesting = [
+        verdict for verdict in diff.verdicts
+        if show_unchanged or verdict.verdict != UNCHANGED
+    ]
+    unchanged = sum(1 for v in diff.verdicts if v.verdict == UNCHANGED)
+    headers = ["metric", "baseline", "current", "delta", "verdict", "note"]
+    if fmt == FORMAT_MARKDOWN:
+        lines = ["| " + " | ".join(headers) + " |",
+                 "|" + "---|" * len(headers)]
+        for row in _verdict_rows(interesting):
+            lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
+        table = "\n".join(lines)
+    else:
+        table = render_table(headers, _verdict_rows(interesting))
+    summary = (
+        f"{len(diff.verdicts)} metrics over "
+        f"{len(diff.experiments)} experiment(s): "
+        f"{len(diff.fidelity_regressions)} fidelity regression(s), "
+        f"{len(diff.timing_regressions)} timing regression(s), "
+        f"{unchanged} unchanged"
+    )
+    if diff.skipped_experiments:
+        summary += (
+            "; not compared (present on one side only): "
+            + ", ".join(diff.skipped_experiments)
+        )
+    counter_changes = [
+        v for v in diff.verdicts
+        if v.kind == KIND_COUNTER and v.verdict != UNCHANGED
+    ]
+    if counter_changes:
+        summary += (
+            f"; {len(counter_changes)} behavioural counter(s) changed "
+            "(informational)"
+        )
+    if not interesting:
+        return summary
+    return f"{table}\n\n{summary}"

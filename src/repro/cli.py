@@ -7,8 +7,9 @@ Usage (also available as ``python -m repro``)::
     repro stats mcf [--policy FLC] [--scale 1.0]
     repro compile is [--scale 1.0]
     repro disasm bfs [--amnesic] [--limit 40]
-    repro experiment fig3 [--scale 1.0]
+    repro experiment fig3 [--scale 1.0] [--format json]
     repro experiments
+    repro bench [--out BENCH_dev.json] [--compare BASELINE.json]
 
 Telemetry flags work globally and per-subcommand: ``--trace-out FILE``
 streams span and per-RCMP decision events as JSONL, ``--metrics`` prints
@@ -25,6 +26,7 @@ configures one.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import List, Optional
@@ -152,6 +154,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("--policy", default=None, choices=POLICY_NAMES)
     run_cmd.add_argument("--all-policies", action="store_true")
     run_cmd.add_argument("--scale", type=float, default=1.0)
+    run_cmd.add_argument(
+        "--format", choices=("table", "json"), default="table",
+        help="output format (json is stable for scripting)",
+    )
     _add_telemetry_flags(run_cmd)
     _add_runner_flags(run_cmd)
     run_cmd.set_defaults(handler=cmd_run)
@@ -187,6 +193,10 @@ def build_parser() -> argparse.ArgumentParser:
     experiment_cmd = sub.add_parser("experiment", help="rerun one paper artifact")
     experiment_cmd.add_argument("experiment_id", choices=sorted(EXPERIMENTS))
     experiment_cmd.add_argument("--scale", type=float, default=1.0)
+    experiment_cmd.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (json emits the experiment's data payload)",
+    )
     _add_telemetry_flags(experiment_cmd)
     _add_runner_flags(experiment_cmd)
     experiment_cmd.set_defaults(handler=cmd_experiment)
@@ -206,6 +216,44 @@ def build_parser() -> argparse.ArgumentParser:
     _add_telemetry_flags(report_cmd)
     _add_runner_flags(report_cmd)
     report_cmd.set_defaults(handler=cmd_report)
+
+    bench_cmd = sub.add_parser(
+        "bench",
+        help="benchmark the reproduction and score fidelity vs the paper",
+    )
+    bench_cmd.add_argument(
+        "--experiments", metavar="IDS", default=None,
+        help="comma-separated experiment ids "
+             "(default: the scored figure/table experiments)",
+    )
+    bench_cmd.add_argument("--scale", type=float, default=1.0)
+    bench_cmd.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="artifact path (default: BENCH_<timestamp>.json)",
+    )
+    bench_cmd.add_argument(
+        "--compare", metavar="BASELINE.json", default=None,
+        help="diff the run (or --current) against a baseline artifact",
+    )
+    bench_cmd.add_argument(
+        "--current", metavar="BENCH.json", default=None,
+        help="diff an existing artifact instead of running (needs --compare)",
+    )
+    bench_cmd.add_argument(
+        "--fail-on-regression", action="store_true",
+        help="exit non-zero when fidelity regresses vs the baseline",
+    )
+    bench_cmd.add_argument(
+        "--fail-on-timing-regression", action="store_true",
+        help="with --fail-on-regression, also gate on timing/throughput",
+    )
+    bench_cmd.add_argument(
+        "--format", choices=("text", "markdown", "json"), default="text",
+        help="diff/report rendering (json dumps the diff verdicts)",
+    )
+    _add_telemetry_flags(bench_cmd)
+    _add_runner_flags(bench_cmd)
+    bench_cmd.set_defaults(handler=cmd_bench)
     return parser
 
 
@@ -252,6 +300,24 @@ def cmd_run(args) -> int:
         **_runner_options(args),
     )
     results = runner.result(args.benchmark)
+    if args.format == "json":
+        payload = {
+            "benchmark": spec.name,
+            "scale": args.scale,
+            "policies": {
+                name: {
+                    "edp_gain_percent": result.edp_gain_percent,
+                    "energy_gain_percent": result.energy_gain_percent,
+                    "time_gain_percent": result.time_gain_percent,
+                    "fired": result.amnesic.stats.recomputations_fired,
+                    "skipped": result.amnesic.stats.recomputations_skipped,
+                    "fallbacks": result.amnesic.stats.recomputation_fallbacks,
+                }
+                for name, result in results.items()
+            },
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
     print(_render_policy_table(spec, args.scale, results))
     return 0
 
@@ -326,7 +392,66 @@ def cmd_disasm(args) -> int:
 def cmd_experiment(args) -> int:
     runner = SuiteRunner(scale=args.scale, **_runner_options(args))
     report = run_experiment(args.experiment_id, runner)
+    if getattr(args, "format", "text") == "json":
+        from .harness.experiments import report_payload
+
+        print(json.dumps(report_payload(report), indent=2))
+        return 0
     print(report.text)
+    return 0
+
+
+def cmd_bench(args) -> int:
+    """Collect a BENCH artifact and optionally gate against a baseline."""
+    from .bench import (
+        BenchArtifact,
+        BenchRunner,
+        compare,
+        render_bench_diff,
+        render_bench_report,
+        timestamp,
+    )
+
+    if args.current and not args.compare:
+        print("--current requires --compare", file=sys.stderr)
+        return 2
+
+    if args.current:
+        artifact = BenchArtifact.load(args.current)
+    else:
+        experiments = None
+        if args.experiments:
+            experiments = [
+                part.strip() for part in args.experiments.split(",") if part.strip()
+            ]
+        runner = SuiteRunner(scale=args.scale, **_runner_options(args))
+        bench = BenchRunner(runner=runner, experiments=experiments)
+        artifact = bench.run()
+        out = args.out or f"BENCH_{timestamp()}.json"
+        path = artifact.write(out)
+        print(f"bench artifact written to {path}", file=sys.stderr)
+        if args.format != "json":
+            print(render_bench_report(artifact))
+
+    if not args.compare:
+        if args.format == "json":
+            print(json.dumps(artifact.to_json(), indent=2))
+        return 0
+
+    baseline = BenchArtifact.load(args.compare)
+    diff = compare(baseline, artifact)
+    if args.format == "json":
+        print(json.dumps(diff.to_json(), indent=2))
+    else:
+        print()
+        print(render_bench_diff(diff, fmt=args.format))
+    regressions = diff.regressed(include_timing=args.fail_on_timing_regression)
+    if regressions and args.fail_on_regression:
+        print(
+            f"{len(regressions)} regression(s) vs {args.compare}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

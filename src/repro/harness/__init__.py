@@ -4,6 +4,7 @@ from .cache import CACHE_FORMAT_VERSION, ResultCache, ResultKey
 from .experiments import (
     EXPERIMENTS,
     ExperimentReport,
+    report_payload,
     run_all,
     run_experiment,
 )
@@ -34,6 +35,7 @@ __all__ = [
     "evaluate_many",
     "evaluate_unit",
     "merge_envelope",
+    "report_payload",
     "run_all",
     "run_experiment",
     "write_report",

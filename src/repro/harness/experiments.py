@@ -281,3 +281,64 @@ def run_experiment(experiment_id: str, runner: SuiteRunner) -> ExperimentReport:
 def run_all(runner: SuiteRunner) -> List[ExperimentReport]:
     """Run every registered experiment, in paper order."""
     return [run_experiment(experiment_id, runner) for experiment_id in EXPERIMENTS]
+
+
+# ----------------------------------------------------------------------
+# Machine-readable experiment output (``--format json``).
+# ----------------------------------------------------------------------
+def _jsonable_data(value):
+    """Best-effort JSON projection of an experiment's ``data`` payload."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: _jsonable_data(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {
+            str(getattr(key, "value", key)): _jsonable_data(item)
+            for key, item in value.items()
+        }
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable_data(item) for item in value]
+    enum_value = getattr(value, "value", None)
+    if isinstance(enum_value, (str, int, float)):
+        return enum_value
+    return str(value)
+
+
+def report_payload(report: ExperimentReport) -> dict:
+    """An :class:`ExperimentReport` as a JSON-ready dict.
+
+    Gain matrices are projected onto all three metrics (so one
+    ``repro experiment fig3 --format json`` carries the EDP, energy,
+    and time axes); dataclass rows become plain dicts; anything else
+    falls back to a structural best effort.  The rendered text rides
+    along so scripted consumers can still show the human table.
+    """
+    from ..analysis.gains import _METRIC_ACCESSOR
+
+    data = report.data
+    if isinstance(data, GainMatrix):
+        payload: object = {
+            "policies": list(data.policies),
+            "gains_percent": {
+                metric: {
+                    benchmark: {
+                        policy: data.gain(benchmark, policy, metric)
+                        for policy in data.policies
+                    }
+                    for benchmark in data.benchmarks()
+                }
+                for metric in _METRIC_ACCESSOR
+            },
+        }
+    else:
+        payload = _jsonable_data(data)
+    return {
+        "experiment_id": report.experiment_id,
+        "title": report.title,
+        "data": payload,
+        "text": report.text,
+    }

@@ -190,6 +190,25 @@ class SuiteRunner:
         """All 33 benchmarks."""
         return self.results(spec.name for spec in all_specs())
 
+    def describe(self) -> Dict[str, object]:
+        """The runner's configuration, by value (bench artifacts embed it).
+
+        Everything a result depends on is here — scale, policy tuple,
+        model fingerprint, instruction budget — so two artifacts can be
+        checked for comparability before their metrics are diffed.
+        """
+        return {
+            "scale": self.scale,
+            "policies": list(self.policies),
+            "model_fingerprint": self.model.fingerprint(),
+            "max_instructions": self.max_instructions,
+            "jobs": self.jobs,
+            "result_cache": (
+                str(self.result_cache.directory)
+                if self.result_cache is not None else None
+            ),
+        }
+
     def invalidate(self) -> None:
         """Drop the in-memory caches (programs included).
 

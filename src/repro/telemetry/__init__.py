@@ -29,8 +29,13 @@ from .sink import (
 )
 from .spans import Span, SpanNode, SpanTracer, build_tree
 from .summary import (
+    PhaseTotal,
+    cache_hit_rate,
+    cache_stats,
     hottest_spans,
+    phase_totals,
     rcmp_breakdown,
+    render_cache_stats,
     render_metrics,
     render_rcmp_breakdown,
     render_span_tree,
@@ -56,8 +61,13 @@ __all__ = [
     "SpanNode",
     "SpanTracer",
     "build_tree",
+    "PhaseTotal",
+    "cache_hit_rate",
+    "cache_stats",
     "hottest_spans",
+    "phase_totals",
     "rcmp_breakdown",
+    "render_cache_stats",
     "render_metrics",
     "render_rcmp_breakdown",
     "render_span_tree",

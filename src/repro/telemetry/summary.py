@@ -9,8 +9,9 @@ flag are thin wrappers over these functions.
 
 from __future__ import annotations
 
+import dataclasses
 from collections import defaultdict
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from .registry import MetricsRegistry, format_series
 from .runtime import Telemetry
@@ -51,10 +52,24 @@ def render_span_tree(roots: Iterable[SpanNode]) -> str:
     return "\n".join(lines) if lines else "(no spans recorded)"
 
 
-def hottest_spans(
-    roots: Iterable[SpanNode], top: int = 5
-) -> List[Tuple[str, float, int]]:
-    """``(name, total self time, count)`` aggregated over the forest."""
+@dataclasses.dataclass(frozen=True)
+class PhaseTotal:
+    """Aggregate cost of one span name across a whole session."""
+
+    name: str
+    self_time_s: float
+    count: int
+
+
+def phase_totals(roots: Iterable[SpanNode]) -> List[PhaseTotal]:
+    """Per-span-name self-time totals over the forest, hottest first.
+
+    Self time (duration minus child durations) is used so the totals
+    partition the wall clock instead of double-counting nested phases —
+    summing every entry reproduces the session's traced time.  This is
+    the aggregation the benchmarking artifacts (``repro bench``) persist
+    as per-phase timings.
+    """
     self_time: Dict[str, float] = defaultdict(float)
     counts: Dict[str, int] = defaultdict(int)
     for root in roots:
@@ -62,7 +77,20 @@ def hottest_spans(
             self_time[node.name] += node.self_time_s
             counts[node.name] += 1
     ranked = sorted(self_time.items(), key=lambda item: (-item[1], item[0]))
-    return [(name, seconds, counts[name]) for name, seconds in ranked[:top]]
+    return [
+        PhaseTotal(name=name, self_time_s=seconds, count=counts[name])
+        for name, seconds in ranked
+    ]
+
+
+def hottest_spans(
+    roots: Iterable[SpanNode], top: int = 5
+) -> List[Tuple[str, float, int]]:
+    """``(name, total self time, count)`` aggregated over the forest."""
+    return [
+        (total.name, total.self_time_s, total.count)
+        for total in phase_totals(roots)[:top]
+    ]
 
 
 def render_hottest_spans(roots: Iterable[SpanNode], top: int = 5) -> str:
@@ -104,6 +132,61 @@ def render_rcmp_breakdown(registry: MetricsRegistry) -> str:
     return "\n".join(lines)
 
 
+#: The two cache layers and the metric series that count their traffic:
+#: the in-memory ``SuiteRunner`` memoisation and the persistent on-disk
+#: :class:`~repro.harness.cache.ResultCache`.
+CACHE_SERIES = {"memory": "suite.cache", "disk": "suite.result_cache"}
+
+
+def cache_stats(registry: MetricsRegistry) -> Dict[str, Dict[str, int]]:
+    """``{layer: {result: count}}`` for both result-cache layers.
+
+    Layers with no recorded traffic are omitted, so a run without a
+    configured disk cache reports only the memory layer (or nothing).
+    """
+    stats: Dict[str, Dict[str, int]] = {}
+    for layer, metric_name in CACHE_SERIES.items():
+        counts: Dict[str, int] = {}
+        for series in registry.series(metric_name):
+            result = dict(series.labels).get("result", "?")
+            counts[result] = counts.get(result, 0) + series.value
+        if counts:
+            stats[layer] = counts
+    return stats
+
+
+def cache_hit_rate(counts: Dict[str, int]) -> Optional[float]:
+    """Hit fraction of one layer's counts, or ``None`` with no lookups.
+
+    Corrupt entries are misses that additionally destroyed an entry, so
+    they count against the rate.
+    """
+    hits = counts.get("hit", 0)
+    lookups = hits + counts.get("miss", 0) + counts.get("corrupt", 0)
+    if lookups == 0:
+        return None
+    return hits / lookups
+
+
+def render_cache_stats(registry: MetricsRegistry) -> str:
+    """Cache effectiveness, one line per layer (memory / disk)."""
+    stats = cache_stats(registry)
+    if not stats:
+        return "(no result-cache traffic recorded)"
+    lines = ["result caches:"]
+    for layer in ("memory", "disk"):
+        counts = stats.get(layer)
+        if not counts:
+            continue
+        rate = cache_hit_rate(counts)
+        rate_text = "n/a" if rate is None else f"{100 * rate:.1f}%"
+        detail = ", ".join(
+            f"{result}={counts[result]}" for result in sorted(counts)
+        )
+        lines.append(f"  {layer:<7} hit rate {rate_text:>6}  ({detail})")
+    return "\n".join(lines)
+
+
 def render_metrics(registry: MetricsRegistry) -> str:
     """Every registered series, one line each."""
     all_series = registry.series()
@@ -135,6 +218,9 @@ def render_summary(telemetry: Telemetry, top: int = 5, metrics: bool = True) -> 
         "",
         "== recomputation ==",
         render_rcmp_breakdown(telemetry.registry),
+        "",
+        "== result cache ==",
+        render_cache_stats(telemetry.registry),
     ]
     if metrics:
         sections += ["", "== metrics ==", render_metrics(telemetry.registry)]

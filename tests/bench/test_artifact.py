@@ -1,0 +1,97 @@
+"""BENCH artifact persistence: round-trips, schema guard, fingerprint."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCH_SCHEMA_VERSION,
+    BenchArtifact,
+    BenchReport,
+    FidelityMetric,
+    environment_fingerprint,
+)
+
+
+def sample_report(**overrides) -> BenchReport:
+    fields = dict(
+        experiment_id="fig4",
+        title="Figure 4: energy gain (%)",
+        wall_s=1.5,
+        phases={"suite.benchmark": {"self_s": 1.2, "count": 11}},
+        throughput_ips=120000.0,
+        instructions=180000,
+        rcmp={"fired": 2128, "skipped": 192},
+        cache={"memory": {"hit": 4, "miss": 1}},
+        cache_hit_rate=0.8,
+        fidelity=[
+            FidelityMetric(
+                figure="fig4", metric="energy", policy="Compiler",
+                benchmark="mcf", paper=55.0, measured=31.4,
+                abs_error=23.6, rel_error=0.43, tolerance_pp=30.0,
+                within=True,
+            ),
+            FidelityMetric(
+                figure="fig4", metric="energy", policy="Compiler",
+                benchmark="is", paper=65.0, measured=20.0,
+                abs_error=45.0, rel_error=0.69, tolerance_pp=30.0,
+                within=False,
+            ),
+        ],
+    )
+    fields.update(overrides)
+    return BenchReport(**fields)
+
+
+def sample_artifact() -> BenchArtifact:
+    return BenchArtifact(
+        schema_version=BENCH_SCHEMA_VERSION,
+        created="20260806T000000Z",
+        environment={"python": "3.11.7", "scale": 1.0, "git_sha": None},
+        reports={"fig4": sample_report()},
+    )
+
+
+def test_report_round_trips_through_json():
+    report = sample_report()
+    clone = BenchReport.from_json(json.loads(json.dumps(report.to_json())))
+    assert clone == report
+    assert clone.fidelity[0].key == "fig4/energy/Compiler/mcf"
+
+
+def test_fidelity_failures_lists_out_of_tolerance_metrics():
+    failures = sample_report().fidelity_failures
+    assert [metric.benchmark for metric in failures] == ["is"]
+
+
+def test_artifact_write_and_load(tmp_path):
+    path = tmp_path / "nested" / "BENCH_t.json"
+    written = sample_artifact().write(path)
+    assert written == path and path.exists()
+    loaded = BenchArtifact.load(path)
+    assert loaded == sample_artifact()
+    # The on-disk form is plain, pretty-printed JSON.
+    assert path.read_text().endswith("\n")
+    assert json.loads(path.read_text())["schema_version"] == BENCH_SCHEMA_VERSION
+
+
+def test_load_rejects_other_schema_versions(tmp_path):
+    payload = sample_artifact().to_json()
+    payload["schema_version"] = BENCH_SCHEMA_VERSION + 1
+    path = tmp_path / "BENCH_future.json"
+    path.write_text(json.dumps(payload))
+    with pytest.raises(ValueError, match="schema"):
+        BenchArtifact.load(path)
+
+
+def test_environment_fingerprint_embeds_runner_config():
+    class StubRunner:
+        def describe(self):
+            return {"scale": 0.25, "jobs": 2, "model_fingerprint": "abc123"}
+
+    fingerprint = environment_fingerprint(StubRunner())
+    assert fingerprint["scale"] == 0.25
+    assert fingerprint["jobs"] == 2
+    assert fingerprint["model_fingerprint"] == "abc123"
+    for key in ("python", "platform", "cpu_count", "git_sha"):
+        assert key in fingerprint

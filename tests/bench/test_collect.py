@@ -1,0 +1,70 @@
+"""BenchRunner end-to-end: real experiments, assembled artifacts."""
+
+import pytest
+
+from repro.bench import (
+    BENCH_DEFAULT_EXPERIMENTS,
+    BENCH_SCHEMA_VERSION,
+    BenchRunner,
+    SCORED_EXPERIMENTS,
+)
+from repro.harness.runner import SuiteRunner
+
+
+@pytest.fixture(scope="module")
+def artifact():
+    """One small bench run shared by the module: fig4 + table1 at 0.25."""
+    runner = SuiteRunner(scale=0.25, jobs=2)
+    bench = BenchRunner(runner=runner, experiments=("fig4", "table1"))
+    return bench.run()
+
+
+def test_default_selection_is_the_scored_set():
+    assert tuple(sorted(BENCH_DEFAULT_EXPERIMENTS)) == SCORED_EXPERIMENTS
+
+
+def test_unknown_experiment_rejected_eagerly():
+    with pytest.raises(KeyError, match="nope"):
+        BenchRunner(experiments=("fig4", "nope"))
+
+
+def test_artifact_shape(artifact):
+    assert artifact.schema_version == BENCH_SCHEMA_VERSION
+    assert list(artifact.reports) == ["fig4", "table1"]
+    assert artifact.environment["scale"] == 0.25
+    assert "Compiler" in artifact.environment["policies"]
+    assert artifact.environment["python"]
+
+
+def test_evaluated_experiment_measures_work(artifact):
+    fig4 = artifact.reports["fig4"]
+    assert fig4.title.startswith("Figure 4")
+    assert fig4.wall_s > 0
+    assert fig4.instructions > 0
+    assert fig4.throughput_ips == pytest.approx(
+        fig4.instructions / fig4.wall_s
+    )
+    # The responsive suite ran under this session: spans and RCMP
+    # decisions were recorded, and the memory cache saw only misses.
+    assert fig4.phases
+    assert fig4.rcmp.get("fired", 0) > 0
+    assert fig4.cache["memory"]["miss"] == 11
+    assert fig4.cache_hit_rate == 0.0
+
+
+def test_fidelity_scored_for_fig4_only(artifact):
+    fig4 = artifact.reports["fig4"]
+    assert {metric.benchmark for metric in fig4.fidelity} == {"is", "mcf"}
+    for metric in fig4.fidelity:
+        assert metric.figure == "fig4"
+        assert metric.measured == pytest.approx(
+            metric.paper - metric.abs_error
+        ) or metric.measured == pytest.approx(metric.paper + metric.abs_error)
+    assert artifact.reports["table1"].fidelity == []
+
+
+def test_artifact_json_round_trip(artifact, tmp_path):
+    from repro.bench import BenchArtifact
+
+    path = artifact.write(tmp_path / "BENCH_t.json")
+    assert BenchArtifact.load(path) == artifact

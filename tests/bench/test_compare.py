@@ -1,0 +1,196 @@
+"""Baseline diffing: timing noise bands, hard fidelity gates, counters."""
+
+import pytest
+
+from repro.bench import (
+    BENCH_SCHEMA_VERSION,
+    BenchArtifact,
+    BenchReport,
+    FidelityMetric,
+    compare,
+)
+from repro.bench.compare import (
+    ADDED,
+    IMPROVED,
+    KIND_COUNTER,
+    KIND_FIDELITY,
+    KIND_TIMING,
+    REGRESSED,
+    REMOVED,
+    UNCHANGED,
+)
+
+
+def fidelity(benchmark="mcf", abs_error=5.0, within=True) -> FidelityMetric:
+    return FidelityMetric(
+        figure="fig4", metric="energy", policy="Compiler",
+        benchmark=benchmark, paper=55.0, measured=55.0 - abs_error,
+        abs_error=abs_error, rel_error=abs_error / 55.0,
+        tolerance_pp=30.0, within=within,
+    )
+
+
+def report(
+    wall_s=10.0,
+    throughput_ips=100000.0,
+    phases=None,
+    rcmp=None,
+    cache_hit_rate=0.5,
+    fidelity_metrics=(),
+) -> BenchReport:
+    return BenchReport(
+        experiment_id="fig4", title="Figure 4", wall_s=wall_s,
+        phases=phases if phases is not None else {},
+        throughput_ips=throughput_ips, instructions=0,
+        rcmp=rcmp if rcmp is not None else {},
+        cache={}, cache_hit_rate=cache_hit_rate,
+        fidelity=list(fidelity_metrics),
+    )
+
+
+def artifact(**reports) -> BenchArtifact:
+    return BenchArtifact(
+        schema_version=BENCH_SCHEMA_VERSION, created="t",
+        environment={}, reports=reports,
+    )
+
+
+def verdict_for(diff, metric):
+    return next(v for v in diff.verdicts if v.metric == metric)
+
+
+# ----------------------------------------------------------------------
+# Timing: relative noise band plus an absolute floor.
+# ----------------------------------------------------------------------
+def test_wall_clock_within_noise_is_unchanged():
+    diff = compare(
+        artifact(fig4=report(wall_s=10.0)), artifact(fig4=report(wall_s=11.0))
+    )
+    assert verdict_for(diff, "fig4/wall_s").verdict == UNCHANGED
+
+
+def test_wall_clock_beyond_noise_regresses_but_does_not_gate_by_default():
+    diff = compare(
+        artifact(fig4=report(wall_s=10.0)), artifact(fig4=report(wall_s=14.0))
+    )
+    assert verdict_for(diff, "fig4/wall_s").verdict == REGRESSED
+    assert diff.timing_regressions and not diff.fidelity_regressions
+    assert diff.regressed() == []
+    assert diff.regressed(include_timing=True) == diff.timing_regressions
+
+
+def test_sub_floor_jitter_is_ignored_even_at_huge_relative_change():
+    diff = compare(
+        artifact(fig4=report(wall_s=0.001)), artifact(fig4=report(wall_s=0.004))
+    )
+    assert verdict_for(diff, "fig4/wall_s").verdict == UNCHANGED
+
+
+def test_throughput_is_higher_is_better():
+    diff = compare(
+        artifact(fig4=report(throughput_ips=100000.0)),
+        artifact(fig4=report(throughput_ips=50000.0)),
+    )
+    assert verdict_for(diff, "fig4/throughput_ips").verdict == REGRESSED
+    diff = compare(
+        artifact(fig4=report(throughput_ips=100000.0)),
+        artifact(fig4=report(throughput_ips=200000.0)),
+    )
+    assert verdict_for(diff, "fig4/throughput_ips").verdict == IMPROVED
+
+
+def test_phases_diff_only_where_both_sides_ran_them():
+    old = report(phases={
+        "suite.benchmark": {"self_s": 8.0, "count": 11},
+        "profile": {"self_s": 1.0, "count": 11},
+    })
+    new = report(phases={
+        "suite.benchmark": {"self_s": 16.0, "count": 11},
+        "suite.parallel": {"self_s": 2.0, "count": 1},  # jobs>1 shape
+    })
+    diff = compare(artifact(fig4=old), artifact(fig4=new))
+    phase_metrics = [
+        v.metric for v in diff.verdicts if v.metric.startswith("fig4/phase/")
+    ]
+    assert phase_metrics == ["fig4/phase/suite.benchmark"]
+    assert verdict_for(diff, "fig4/phase/suite.benchmark").verdict == REGRESSED
+
+
+# ----------------------------------------------------------------------
+# Fidelity: hard thresholds, REMOVED counts against the gate.
+# ----------------------------------------------------------------------
+def test_leaving_the_tolerance_band_is_a_gated_regression():
+    old = report(fidelity_metrics=[fidelity(abs_error=25.0, within=True)])
+    new = report(fidelity_metrics=[fidelity(abs_error=35.0, within=False)])
+    diff = compare(artifact(fig4=old), artifact(fig4=new))
+    (verdict,) = diff.fidelity_regressions
+    assert verdict.verdict == REGRESSED
+    assert "tolerance band" in verdict.note
+    assert diff.regressed() == [verdict]
+
+
+def test_drifting_further_from_the_paper_regresses_within_the_band():
+    old = report(fidelity_metrics=[fidelity(abs_error=5.0)])
+    new = report(fidelity_metrics=[fidelity(abs_error=6.0)])  # +1pp > 0.25pp
+    diff = compare(artifact(fig4=old), artifact(fig4=new))
+    (verdict,) = diff.fidelity_regressions
+    assert verdict.delta == pytest.approx(1.0)
+
+
+def test_sub_noise_fidelity_drift_is_unchanged():
+    old = report(fidelity_metrics=[fidelity(abs_error=5.0)])
+    new = report(fidelity_metrics=[fidelity(abs_error=5.1)])
+    diff = compare(artifact(fig4=old), artifact(fig4=new))
+    assert diff.fidelity_regressions == []
+    key = "fig4/fidelity/energy/Compiler/mcf"
+    assert verdict_for(diff, key).verdict == UNCHANGED
+
+
+def test_moving_closer_to_the_paper_improves():
+    old = report(fidelity_metrics=[fidelity(abs_error=20.0)])
+    new = report(fidelity_metrics=[fidelity(abs_error=10.0)])
+    diff = compare(artifact(fig4=old), artifact(fig4=new))
+    key = "fig4/fidelity/energy/Compiler/mcf"
+    assert verdict_for(diff, key).verdict == IMPROVED
+
+
+def test_removed_fidelity_metric_gates_and_added_does_not():
+    old = report(fidelity_metrics=[fidelity("mcf")])
+    new = report(fidelity_metrics=[fidelity("is")])
+    diff = compare(artifact(fig4=old), artifact(fig4=new))
+    removed = verdict_for(diff, "fig4/fidelity/energy/Compiler/mcf")
+    added = verdict_for(diff, "fig4/fidelity/energy/Compiler/is")
+    assert removed.verdict == REMOVED and added.verdict == ADDED
+    assert diff.regressed() == [removed]
+
+
+# ----------------------------------------------------------------------
+# Counters and asymmetric artifacts.
+# ----------------------------------------------------------------------
+def test_counter_changes_are_informational_only():
+    old = report(rcmp={"fired": 100, "skipped": 10}, cache_hit_rate=0.5)
+    new = report(rcmp={"fired": 120, "skipped": 10}, cache_hit_rate=1.0)
+    diff = compare(artifact(fig4=old), artifact(fig4=new))
+    fired = verdict_for(diff, "fig4/rcmp/fired")
+    assert fired.kind == KIND_COUNTER and fired.verdict == "changed"
+    assert verdict_for(diff, "fig4/rcmp/skipped").verdict == UNCHANGED
+    assert verdict_for(diff, "fig4/cache_hit_rate").verdict == "changed"
+    assert diff.regressed(include_timing=True) == []
+
+
+def test_experiments_on_one_side_only_are_skipped_not_failed():
+    baseline = artifact(fig4=report(), fig3=report())
+    current = artifact(fig4=report(), table4=report())
+    diff = compare(baseline, current)
+    assert diff.experiments == ["fig4"]
+    assert diff.skipped_experiments == ["fig3", "table4"]
+    assert diff.regressed(include_timing=True) == []
+
+
+def test_diff_serialises_every_verdict():
+    old = report(fidelity_metrics=[fidelity(abs_error=5.0)])
+    new = report(fidelity_metrics=[fidelity(abs_error=35.0, within=False)])
+    payload = compare(artifact(fig4=old), artifact(fig4=new)).to_json()
+    assert payload["experiments"] == ["fig4"]
+    kinds = {verdict["kind"] for verdict in payload["verdicts"]}
+    assert {KIND_TIMING, KIND_FIDELITY, KIND_COUNTER} <= kinds

@@ -1,0 +1,158 @@
+"""Summary renderers: span tree, phase totals, RCMP and cache reports."""
+
+import itertools
+
+import pytest
+
+from repro.telemetry import (
+    MetricsRegistry,
+    PhaseTotal,
+    SpanTracer,
+    cache_hit_rate,
+    cache_stats,
+    hottest_spans,
+    phase_totals,
+    render_cache_stats,
+    render_rcmp_breakdown,
+    render_span_tree,
+)
+
+
+def counting_clock(step: float = 1.0):
+    counter = itertools.count()
+    return lambda: next(counter) * step
+
+
+def traced_session() -> SpanTracer:
+    """root(0..5) { compile(1..2), execute(3..4) } then compile(6..7)."""
+    tracer = SpanTracer(clock=counting_clock())
+    with tracer.span("root"):
+        with tracer.span("compile"):
+            pass
+        with tracer.span("execute", benchmark="mcf"):
+            pass
+    with tracer.span("compile"):
+        pass
+    return tracer
+
+
+# ----------------------------------------------------------------------
+# Span tree rendering.
+# ----------------------------------------------------------------------
+def test_render_span_tree_shows_nesting_durations_and_attrs():
+    text = render_span_tree(traced_session().tree())
+    lines = text.splitlines()
+    assert lines[0].startswith("root")
+    assert lines[1].startswith("  compile")
+    assert "benchmark=mcf" in lines[2]
+    assert "5.00s" in lines[0]  # root spans t=0..5
+    assert len(lines) == 4
+
+
+def test_render_span_tree_empty_forest():
+    assert render_span_tree([]) == "(no spans recorded)"
+
+
+def test_render_span_tree_marks_errors():
+    tracer = SpanTracer(clock=counting_clock())
+    with pytest.raises(ValueError):
+        with tracer.span("doomed"):
+            raise ValueError("boom")
+    assert "!error" in render_span_tree(tracer.tree())
+
+
+# ----------------------------------------------------------------------
+# Phase totals and hottest spans.
+# ----------------------------------------------------------------------
+def test_phase_totals_aggregate_self_time_by_name():
+    totals = {t.name: t for t in phase_totals(traced_session().tree())}
+    # root: 5s total minus 1s+1s children = 3s self.
+    assert totals["root"].self_time_s == pytest.approx(3.0)
+    # compile appears twice (1s nested + 1s top-level).
+    assert totals["compile"] == PhaseTotal("compile", pytest.approx(2.0), 2)
+    assert totals["execute"].count == 1
+
+
+def test_phase_totals_partition_the_traced_wall_clock():
+    roots = traced_session().tree()
+    traced = sum(root.duration_s for root in roots)
+    assert sum(t.self_time_s for t in phase_totals(roots)) == pytest.approx(traced)
+
+
+def test_phase_totals_ranked_hottest_first():
+    names = [t.name for t in phase_totals(traced_session().tree())]
+    assert names == ["root", "compile", "execute"]
+
+
+def test_hottest_spans_is_a_truncated_view_of_phase_totals():
+    roots = traced_session().tree()
+    assert hottest_spans(roots, top=2) == [
+        (t.name, t.self_time_s, t.count) for t in phase_totals(roots)[:2]
+    ]
+
+
+# ----------------------------------------------------------------------
+# RCMP breakdown.
+# ----------------------------------------------------------------------
+def test_render_rcmp_breakdown_totals_per_policy():
+    registry = MetricsRegistry()
+    registry.counter("rcmp.outcomes", policy="FLC", outcome="fired").inc(7)
+    registry.counter("rcmp.outcomes", policy="FLC", outcome="skipped").inc(2)
+    registry.counter("rcmp.outcomes", policy="LLC", outcome="fallback").inc()
+    text = render_rcmp_breakdown(registry)
+    flc_row = next(line for line in text.splitlines() if "FLC" in line)
+    assert flc_row.split() == ["FLC", "7", "2", "0", "9"]
+    assert "LLC" in text
+
+
+def test_render_rcmp_breakdown_empty():
+    assert render_rcmp_breakdown(MetricsRegistry()) == "(no RCMP decisions recorded)"
+
+
+# ----------------------------------------------------------------------
+# Result-cache stats.
+# ----------------------------------------------------------------------
+def _cache_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("suite.cache", result="hit").inc(3)
+    registry.counter("suite.cache", result="miss").inc(1)
+    registry.counter("suite.result_cache", result="hit").inc(2)
+    registry.counter("suite.result_cache", result="miss").inc(1)
+    registry.counter("suite.result_cache", result="corrupt").inc(1)
+    registry.counter("suite.result_cache", result="store").inc(2)
+    return registry
+
+
+def test_cache_stats_groups_by_layer():
+    assert cache_stats(_cache_registry()) == {
+        "memory": {"hit": 3, "miss": 1},
+        "disk": {"hit": 2, "miss": 1, "corrupt": 1, "store": 2},
+    }
+
+
+def test_cache_stats_omits_idle_layers():
+    registry = MetricsRegistry()
+    registry.counter("suite.cache", result="hit").inc()
+    assert list(cache_stats(registry)) == ["memory"]
+    assert cache_stats(MetricsRegistry()) == {}
+
+
+def test_cache_hit_rate_counts_corrupt_entries_as_misses():
+    assert cache_hit_rate({"hit": 2, "miss": 1, "corrupt": 1}) == pytest.approx(0.5)
+    assert cache_hit_rate({"hit": 4}) == pytest.approx(1.0)
+    # Stores are not lookups; with none at all the rate is undefined.
+    assert cache_hit_rate({"store": 5}) is None
+    assert cache_hit_rate({}) is None
+
+
+def test_render_cache_stats_reports_both_layers():
+    text = render_cache_stats(_cache_registry())
+    lines = text.splitlines()
+    assert lines[0] == "result caches:"
+    assert "memory" in lines[1] and "75.0%" in lines[1]
+    assert "disk" in lines[2] and "50.0%" in lines[2]
+    assert "corrupt=1" in lines[2]
+
+
+def test_render_cache_stats_empty():
+    assert render_cache_stats(MetricsRegistry()) == "(no result-cache traffic recorded)"
