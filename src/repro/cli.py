@@ -254,6 +254,50 @@ def build_parser() -> argparse.ArgumentParser:
     _add_telemetry_flags(bench_cmd)
     _add_runner_flags(bench_cmd)
     bench_cmd.set_defaults(handler=cmd_bench)
+
+    fuzz_cmd = sub.add_parser(
+        "fuzz",
+        help="differentially fuzz the amnesic pipeline against classic "
+             "execution",
+    )
+    fuzz_cmd.add_argument(
+        "--seed", type=int, default=0,
+        help="campaign seed; the same seed replays the same programs",
+    )
+    fuzz_cmd.add_argument(
+        "--iterations", type=int, default=200,
+        help="programs to generate and check",
+    )
+    fuzz_cmd.add_argument(
+        "--time-budget", type=float, default=None, metavar="SECONDS",
+        help="stop generating once this much wall-clock time has elapsed",
+    )
+    fuzz_cmd.add_argument(
+        "--corpus-dir", metavar="DIR", default=None,
+        help="bank shrunk counterexamples here (and dedupe against it)",
+    )
+    fuzz_cmd.add_argument(
+        "--policies", metavar="NAMES", default=None,
+        help="comma-separated scheduler policies (default: all five)",
+    )
+    fuzz_cmd.add_argument(
+        "--no-shrink", action="store_true",
+        help="report counterexamples without minimising them",
+    )
+    fuzz_cmd.add_argument(
+        "--max-counterexamples", type=int, default=5,
+        help="stop the campaign after this many distinct failures",
+    )
+    fuzz_cmd.add_argument(
+        "--replay", action="store_true",
+        help="replay the --corpus-dir entries instead of generating",
+    )
+    fuzz_cmd.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (json is stable for scripting)",
+    )
+    _add_telemetry_flags(fuzz_cmd)
+    fuzz_cmd.set_defaults(handler=cmd_fuzz)
     return parser
 
 
@@ -453,6 +497,85 @@ def cmd_bench(args) -> int:
         )
         return 1
     return 0
+
+
+def cmd_fuzz(args) -> int:
+    """Run a differential fuzz campaign (or replay the corpus)."""
+    from .fuzz import FuzzConfig, materialize, replay_corpus, run_fuzz
+
+    policies = None
+    if args.policies:
+        policies = tuple(
+            part.strip() for part in args.policies.split(",") if part.strip()
+        )
+        unknown = [name for name in policies if name not in POLICY_NAMES]
+        if unknown:
+            print(
+                f"unknown policies: {', '.join(unknown)} "
+                f"(choose from {', '.join(POLICY_NAMES)})",
+                file=sys.stderr,
+            )
+            return 2
+
+    if args.replay:
+        if not args.corpus_dir:
+            print("--replay requires --corpus-dir", file=sys.stderr)
+            return 2
+        report = replay_corpus(args.corpus_dir, policies=policies)
+        if args.format == "json":
+            payload = {
+                "entries": len(report.verdicts),
+                "failures": [
+                    {"name": entry.name, "verdict": verdict.summary()}
+                    for entry, verdict in report.failures
+                ],
+            }
+            print(json.dumps(payload, indent=2))
+        else:
+            for entry, verdict in report.verdicts:
+                marker = "ok  " if verdict.ok else "FAIL"
+                print(f"{marker} {entry.name}: {verdict.summary()}")
+            print(
+                f"\nreplayed {len(report.verdicts)} corpus entries, "
+                f"{len(report.failures)} failing"
+            )
+        return 0 if report.ok else 1
+
+    config = FuzzConfig(
+        seed=args.seed,
+        iterations=args.iterations,
+        time_budget_s=args.time_budget,
+        corpus_dir=args.corpus_dir,
+        policies=policies or POLICY_NAMES,
+        shrink=not args.no_shrink,
+        max_counterexamples=args.max_counterexamples,
+    )
+    result = run_fuzz(config)
+    if args.format == "json":
+        print(json.dumps(result.to_json(), indent=2))
+    else:
+        print(
+            f"fuzz: seed {config.seed}, {result.programs} programs checked "
+            f"({result.invalid} invalid) in {result.elapsed_s:.1f}s "
+            f"across {', '.join(config.policies)}"
+        )
+        if result.stopped_early:
+            print(f"stopped early: {result.stopped_early}")
+        for cx in result.counterexamples:
+            program = materialize(cx.shrunk)
+            print(
+                f"\ncounterexample (program seed {cx.original.seed}, shrunk "
+                f"in {cx.shrink_steps} steps to "
+                f"{len(program.instructions)} instructions):"
+            )
+            for failure in cx.verdict.failures:
+                print(f"  {failure}")
+            if cx.corpus_path:
+                print(f"  banked at {cx.corpus_path}")
+            print(program.render())
+        if result.ok:
+            print("no equivalence violations found")
+    return 0 if result.ok else 1
 
 
 def cmd_report(args) -> int:

@@ -81,3 +81,7 @@ class HistOverflow(SchedulerError):
 
 class WorkloadError(ReproError):
     """A workload could not be generated with the requested parameters."""
+
+
+class FuzzError(ReproError):
+    """A fuzz program spec is malformed or cannot be materialised."""

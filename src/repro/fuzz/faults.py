@@ -1,0 +1,61 @@
+"""Deliberately broken schedulers for validating the oracle.
+
+A differential fuzzer that has never caught a bug proves nothing.  These
+CPU variants inject known scheduler defects so the test suite can assert
+the whole loop end-to-end: the generator produces a program that
+exercises the broken path, the oracle flags the divergence, and the
+shrinker reduces it to a minimal counterexample.  They are shipped in
+the package (not buried in tests) so future scheduler work can re-run
+the same mutation check against new policies.
+"""
+
+from __future__ import annotations
+
+from ..core.amnesic_cpu import AmnesicCPU
+from ..core.hist import HistoryTable
+
+
+class _ZeroReadHist(HistoryTable):
+    """A history table whose reads skip the lookup and fabricate zeros."""
+
+    def read(self, slice_id: int, leaf_id: int, slot: int):
+        super().read(slice_id, leaf_id, slot)  # keep LRU/accounting honest
+        return 0
+
+
+class SkipHistReadCPU(AmnesicCPU):
+    """Bug: slice traversal skips the Hist lookup for checkpointed leaves.
+
+    Readiness checks (``has``) still pass and REC still records, so the
+    scheduler happily fires — but every checkpoint-supplied operand
+    arrives as zero instead of the recorded value.  Any fired slice with
+    a Hist leaf whose true value is non-zero recomputes the wrong value,
+    which (with ``verify=False``) silently corrupts the destination
+    register and everything downstream of it.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.hist = _ZeroReadHist(self.hist.capacity)
+
+
+class EagerFireCPU(AmnesicCPU):
+    """Bug: fires without checking slice readiness, on one SFile entry.
+
+    The readiness check exists to guarantee a slice's scratch demand
+    fits the SFile before traversal begins; skipping it means any slice
+    needing more than the single available entry exhausts the scratch
+    file mid-traversal and faults (:class:`~repro.errors.SchedulerError`)
+    instead of falling back to the load.  Useful for checking that the
+    oracle treats amnesic-side exceptions as failures, not crashes.
+    """
+
+    def __init__(self, *args, **kwargs):
+        kwargs["sfile_capacity"] = 1
+        super().__init__(*args, **kwargs)
+
+    def _slice_ready(self, info) -> bool:
+        return True
+
+
+__all__ = ["EagerFireCPU", "SkipHistReadCPU"]

@@ -1,0 +1,171 @@
+"""Greedy reduction of failing specs to minimal counterexamples.
+
+The shrinker works at the spec level — deleting statements, truncating
+chains, and simplifying constants — never on raw instructions, so the
+result is a readable scenario ("store, clobber, reload over 2
+iterations") rather than a soup of opcodes.  Reduction is ddmin-style
+greedy descent to a fixpoint: try candidate simplifications in order of
+expected payoff, accept any candidate on which the failure predicate
+still holds, and restart until nothing shrinks.
+
+The failure predicate is a black box (usually "the oracle still reports
+a failure with the same buggy CPU class"), so the shrinker never needs
+to know *why* the program fails — only that it still does.  Candidates
+that no longer materialise (an orphaned reference after a deletion) are
+simply not failures; :func:`shrink_spec` treats predicate exceptions on
+a candidate as "does not fail" and moves on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Iterator, List
+
+from .spec import Gap, Produce, ProgramSpec, Reload, Statement, Store
+
+#: Keep at least this many loop iterations while shrinking: the compiler
+#: ignores loads with fewer dynamic instances than ``min_instances`` (2
+#: by default), so shrinking to one iteration makes every slice vanish
+#: and the bug with it.
+MIN_ITERATIONS = 2
+
+
+@dataclasses.dataclass
+class ShrinkResult:
+    """The reduced spec plus how hard the shrinker worked."""
+
+    spec: ProgramSpec
+    steps: int  # accepted simplifications
+    attempts: int  # candidates evaluated
+
+
+def _replaced(
+    spec: ProgramSpec, index: int, statement: Statement
+) -> ProgramSpec:
+    statements = list(spec.statements)
+    statements[index] = statement
+    return spec.replace(statements=tuple(statements))
+
+
+def _candidates(spec: ProgramSpec) -> Iterator[ProgramSpec]:
+    """Simplifications of *spec*, highest expected payoff first."""
+    statements = spec.statements
+
+    # 1. Delete contiguous statement chunks, large chunks first (ddmin).
+    size = len(statements) // 2
+    while size >= 1:
+        for start in range(0, len(statements) - size + 1):
+            remaining = statements[:start] + statements[start + size:]
+            if remaining:
+                yield spec.replace(statements=remaining)
+        size //= 2
+
+    # 2. Fewer loop iterations (bounded below by MIN_ITERATIONS).
+    for iterations in (MIN_ITERATIONS, spec.iterations // 2, spec.iterations - 1):
+        if MIN_ITERATIONS <= iterations < spec.iterations:
+            yield spec.replace(iterations=iterations)
+
+    # 3. Drop the output store.
+    if spec.emit_output:
+        yield spec.replace(emit_output=False)
+
+    # 4. Shrink the slot region (fewer address bits in play).
+    if spec.slot_words > 8:
+        yield spec.replace(slot_words=8)
+
+    # 5. Per-statement simplifications.
+    for index, statement in enumerate(statements):
+        if isinstance(statement, Produce):
+            chain = statement.chain
+            for length in (0, len(chain) // 2, len(chain) - 1):
+                if 0 <= length < len(chain):
+                    yield _replaced(
+                        spec,
+                        index,
+                        dataclasses.replace(statement, chain=chain[:length]),
+                    )
+            if statement.ro_stride > 0:
+                yield _replaced(
+                    spec, index, dataclasses.replace(statement, ro_stride=0)
+                )
+            if statement.source != "index":
+                yield _replaced(
+                    spec, index, dataclasses.replace(statement, source="index")
+                )
+        elif isinstance(statement, (Store, Reload)):
+            if statement.stride != 0:
+                yield _replaced(
+                    spec, index, dataclasses.replace(statement, stride=0)
+                )
+            if statement.offset != 0:
+                yield _replaced(
+                    spec, index, dataclasses.replace(statement, offset=0)
+                )
+            if isinstance(statement, Reload) and statement.accumulate:
+                yield _replaced(
+                    spec,
+                    index,
+                    dataclasses.replace(statement, accumulate=False),
+                )
+        elif isinstance(statement, Gap):
+            for count in (1, statement.count // 2):
+                if 1 <= count < statement.count:
+                    yield _replaced(
+                        spec, index, dataclasses.replace(statement, count=count)
+                    )
+
+
+def shrink_spec(
+    spec: ProgramSpec,
+    still_fails: Callable[[ProgramSpec], bool],
+    max_attempts: int = 500,
+) -> ShrinkResult:
+    """Reduce *spec* while ``still_fails`` holds; greedy, to a fixpoint.
+
+    *still_fails* is called on each candidate; any exception it raises
+    counts as "candidate does not fail" so un-materialisable candidates
+    are skipped rather than aborting the reduction.  *max_attempts*
+    bounds total predicate evaluations — shrinking is best-effort and
+    the original failure is preserved regardless.
+    """
+    current = spec
+    steps = 0
+    attempts = 0
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        for candidate in _candidates(current):
+            if attempts >= max_attempts:
+                break
+            attempts += 1
+            try:
+                failing = still_fails(candidate)
+            except Exception:
+                failing = False
+            if failing:
+                current = candidate.replace(name=f"{spec.name}-shrunk")
+                steps += 1
+                improved = True
+                break  # restart candidate generation from the smaller spec
+    return ShrinkResult(spec=current, steps=steps, attempts=attempts)
+
+
+def instruction_count(spec: ProgramSpec) -> int:
+    """Static instruction count of the materialised spec."""
+    from .spec import materialize
+
+    return len(materialize(spec).instructions)
+
+
+def candidate_specs(spec: ProgramSpec) -> List[ProgramSpec]:
+    """All one-step simplifications of *spec* (test/debug helper)."""
+    return list(_candidates(spec))
+
+
+__all__ = [
+    "MIN_ITERATIONS",
+    "ShrinkResult",
+    "candidate_specs",
+    "instruction_count",
+    "shrink_spec",
+]

@@ -1,6 +1,9 @@
-"""Shared fixtures and kernel helpers for the test suite."""
+"""Shared fixtures, Hypothesis profiles, and kernel helpers."""
+
+import os
 
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.energy import EPITable, EnergyModel
 from repro.isa import Opcode, ProgramBuilder
@@ -10,6 +13,26 @@ from repro.machine.config import (
     PAPER_L2_PARAMS,
     PAPER_MEM_PARAMS,
 )
+
+# ----------------------------------------------------------------------
+# Hypothesis profiles, selected via HYPOTHESIS_PROFILE.
+#
+# ``ci`` (the default) removes the per-example deadline — shared CI
+# runners stall unpredictably and a deadline flake tells us nothing —
+# and derandomizes so a red CI run reproduces locally from the same
+# examples.  ``nightly`` spends real time searching: many examples,
+# fresh entropy each run.  ``dev`` keeps Hypothesis's exploratory
+# defaults minus the deadline for interactive work.
+# ----------------------------------------------------------------------
+settings.register_profile("ci", deadline=None, derandomize=True)
+settings.register_profile(
+    "nightly",
+    deadline=None,
+    max_examples=500,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile("dev", deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
 
 
 def tiny_config() -> MachineConfig:

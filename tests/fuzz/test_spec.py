@@ -1,0 +1,138 @@
+"""ProgramSpec: serialisation, validation, and materialisation."""
+
+import pytest
+
+from repro.errors import FuzzError
+from repro.fuzz import (
+    Carry,
+    Clobber,
+    Gap,
+    Produce,
+    ProgramSpec,
+    Reload,
+    Store,
+    materialize,
+    validate_spec,
+)
+from repro.isa.opcodes import Opcode
+
+
+def simple_spec(**overrides):
+    fields = dict(
+        name="simple",
+        iterations=4,
+        slot_words=8,
+        statements=(
+            Produce(temp="t0", source="index", chain=(("mul", 7), ("xor", 3))),
+            Store(temp="t0", offset=1),
+            Reload(offset=1),
+        ),
+    )
+    fields.update(overrides)
+    return ProgramSpec(**fields)
+
+
+def test_json_roundtrip_preserves_every_statement_kind():
+    spec = ProgramSpec(
+        name="everything",
+        iterations=5,
+        slot_words=16,
+        emit_output=False,
+        seed=1234,
+        statements=(
+            Produce(temp="t0", source="roload", chain=(("add", 1),), ro_stride=2),
+            Produce(temp="t1", source="t0", chain=()),
+            Store(temp="t1", offset=3, stride=2),
+            Clobber(temp="t0", value=0xBEEF),
+            Gap(count=4, stride=3),
+            Reload(offset=3, stride=2, accumulate=False),
+            Carry(temp="t2", source="t1", op="xor"),
+        ),
+    )
+    clone = ProgramSpec.from_json(spec.to_json())
+    assert clone == spec
+
+
+def test_digest_ignores_name_and_seed_but_not_behaviour():
+    spec = simple_spec()
+    assert spec.digest() == simple_spec(name="other", seed=99).digest()
+    assert spec.digest() != simple_spec(iterations=5).digest()
+
+
+def test_from_json_rejects_unknown_format_and_statement_kind():
+    payload = simple_spec().to_json()
+    payload["format"] = 999
+    with pytest.raises(FuzzError):
+        ProgramSpec.from_json(payload)
+    payload = simple_spec().to_json()
+    payload["statements"][0]["kind"] = "teleport"
+    with pytest.raises(FuzzError):
+        ProgramSpec.from_json(payload)
+
+
+@pytest.mark.parametrize(
+    "overrides",
+    [
+        {"iterations": 0},
+        {"slot_words": 0},
+        {"slot_words": 12},  # not a power of two
+        {"statements": ()},
+        {"statements": (Store(temp="nope", offset=0),)},
+        {"statements": (Store(temp="t0", offset=64),)},  # outside slot_words
+        {"statements": (Gap(count=0),)},
+        {"statements": (Produce(temp="t0", chain=(("warp", 1),)),)},
+        {"statements": (Carry(temp="t0", source="index"),)},
+    ],
+)
+def test_validate_rejects_malformed_specs(overrides):
+    with pytest.raises(FuzzError):
+        validate_spec(simple_spec(**overrides))
+
+
+def test_materialize_is_deterministic_and_ends_in_halt():
+    first = materialize(simple_spec())
+    second = materialize(simple_spec())
+    assert first.render() == second.render()
+    assert first.instructions[-1].opcode is Opcode.HALT
+
+
+def test_materialize_initialises_temps_read_before_written():
+    # t1 is stored before anything writes it, so it must be seeded
+    # before the loop; t0 is produced first and needs no init.
+    spec = simple_spec(
+        statements=(
+            Store(temp="t1", offset=0),
+            Produce(temp="t0", source="index", chain=(("add", 1),)),
+            Store(temp="t0", offset=1),
+            Reload(offset=1),
+        )
+    )
+    program = materialize(spec)
+    from repro.core.execution import run_classic
+    from repro.fuzz import default_fuzz_model
+
+    outcome = run_classic(program, default_fuzz_model())
+    assert outcome.stats.stores_performed == 2 * spec.iterations + 1
+
+
+def test_materialize_emits_no_output_store_when_disabled():
+    with_output = materialize(simple_spec(emit_output=True))
+    without = materialize(simple_spec(emit_output=False))
+    assert len(without.instructions) < len(with_output.instructions)
+
+
+def test_minimal_spec_is_tiny():
+    # The shrinker's floor: a one-group fixed-slot spec with no
+    # accumulation must stay within the counterexample budget.
+    spec = ProgramSpec(
+        name="minimal",
+        iterations=2,
+        slot_words=8,
+        emit_output=False,
+        statements=(
+            Produce(temp="t0", source="roload", chain=(), ro_stride=0),
+            Store(temp="t0", offset=0),
+            Reload(offset=0, accumulate=False),
+        ),
+    )
+    assert len(materialize(spec).instructions) <= 15

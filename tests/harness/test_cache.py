@@ -1,0 +1,188 @@
+"""ResultCache failure paths: corruption variants and concurrent writers.
+
+``tests/harness/test_parallel.py`` covers the happy path (roundtrip,
+digest identity, the basic corrupt-is-a-miss case); this module attacks
+the edges the ISSUE names — every corruption flavour must degrade to a
+miss with the ``result=corrupt`` telemetry counter, and racing writers
+on the same key must never leave a torn entry or a stray temp file
+behind (the atomic ``os.replace`` contract).
+"""
+
+import os
+import pickle
+import threading
+import zlib
+
+import pytest
+
+from repro.harness.cache import ResultCache, ResultKey, cache_from_env
+from repro.telemetry.runtime import telemetry_session
+
+
+def make_key(benchmark="bfs", policies=("FLC",)):
+    return ResultKey(
+        benchmark=benchmark,
+        scale=0.25,
+        policies=tuple(policies),
+        model_fingerprint="fp",
+        max_instructions=1000,
+    )
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+# ----------------------------------------------------------------------
+# Corruption flavours: every one is a miss, never an exception.
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "corruption",
+    [
+        pytest.param(lambda path: path.write_bytes(b""), id="empty-file"),
+        pytest.param(
+            lambda path: path.write_bytes(b"garbage bytes"), id="not-zlib"
+        ),
+        pytest.param(
+            lambda path: path.write_bytes(zlib.compress(b"not a pickle")),
+            id="zlib-but-not-pickle",
+        ),
+        pytest.param(
+            lambda path: path.write_bytes(path.read_bytes()[:-7]),
+            id="truncated-blob",
+        ),
+        pytest.param(
+            lambda path: path.write_bytes(
+                zlib.compress(pickle.dumps(object)[:10])
+            ),
+            id="truncated-pickle",
+        ),
+    ],
+)
+def test_every_corruption_flavour_is_a_miss_and_is_dropped(cache, corruption):
+    key = make_key()
+    cache.put(key, {"FLC": 1})
+    corruption(cache.entries()[0])
+    with telemetry_session() as telemetry:
+        assert cache.get(key) is None
+        assert telemetry.registry.value(
+            "suite.result_cache", result="corrupt"
+        ) == 1
+    assert len(cache) == 0  # the bad entry was unlinked
+    # The slot is immediately reusable.
+    cache.put(key, {"FLC": 2})
+    assert cache.get(key) == {"FLC": 2}
+
+
+def test_absent_entry_counts_as_plain_miss_not_corrupt(cache):
+    with telemetry_session() as telemetry:
+        assert cache.get(make_key()) is None
+        registry = telemetry.registry
+        assert registry.value("suite.result_cache", result="miss") == 1
+        assert registry.value("suite.result_cache", result="corrupt") is None
+
+
+def test_stale_format_unpicklable_class_is_a_miss(cache):
+    # An entry pickled against a class that no longer exists (renamed
+    # module, changed layout) must behave like any other corrupt entry.
+    key = make_key()
+    # Protocol-0 GLOBAL opcode referencing a module that does not exist:
+    # a well-formed pickle that raises ImportError on load.
+    blob = zlib.compress(b"cno_such_module\nNoClass\n.")
+    (cache.directory / f"{key.digest()}.pkl.z").write_bytes(blob)
+    assert cache.get(key) is None
+    assert len(cache) == 0
+
+
+# ----------------------------------------------------------------------
+# Concurrent writers: atomic os.replace, no torn reads, no debris.
+# ----------------------------------------------------------------------
+def test_concurrent_writers_same_key_leave_one_whole_entry(cache):
+    key = make_key()
+    payloads = [{"FLC": writer, "blob": bytes(4096)} for writer in range(8)]
+    barrier = threading.Barrier(len(payloads))
+    errors = []
+
+    def write(payload):
+        try:
+            barrier.wait()
+            for _ in range(25):
+                cache.put(key, payload)
+        except Exception as error:  # pragma: no cover - failure path
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=write, args=(payload,)) for payload in payloads
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert errors == []
+    assert len(cache) == 1  # exactly one entry for the key
+    final = cache.get(key)
+    assert final in payloads  # some writer's value, never a hybrid
+    leftovers = [
+        name for name in os.listdir(cache.directory)
+        if name.startswith(".tmp-")
+    ]
+    assert leftovers == []  # every temp file was replaced or unlinked
+
+
+def test_concurrent_reader_never_sees_a_torn_entry(cache):
+    key = make_key()
+    cache.put(key, {"FLC": 0})
+    stop = threading.Event()
+    torn = []
+
+    def reader():
+        while not stop.is_set():
+            value = cache.get(key)
+            if value is not None and "FLC" not in value:
+                torn.append(value)
+
+    thread = threading.Thread(target=reader)
+    thread.start()
+    try:
+        for round_number in range(1, 200):
+            cache.put(key, {"FLC": round_number, "pad": bytes(2048)})
+    finally:
+        stop.set()
+        thread.join()
+    assert torn == []
+
+
+def test_failed_write_cleans_up_its_temp_file(cache, monkeypatch):
+    key = make_key()
+
+    def exploding_replace(src, dst):
+        raise OSError("disk on fire")
+
+    monkeypatch.setattr(os, "replace", exploding_replace)
+    with pytest.raises(OSError):
+        cache.put(key, {"FLC": 1})
+    monkeypatch.undo()
+    assert len(cache) == 0
+    leftovers = [
+        name for name in os.listdir(cache.directory)
+        if name.startswith(".tmp-")
+    ]
+    assert leftovers == []
+
+
+# ----------------------------------------------------------------------
+# Environment plumbing.
+# ----------------------------------------------------------------------
+def test_cache_from_env(tmp_path, monkeypatch):
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    assert cache_from_env() is None
+    explicit = cache_from_env(str(tmp_path / "explicit"))
+    assert explicit is not None
+    assert explicit.directory == tmp_path / "explicit"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "from-env"))
+    from_env = cache_from_env()
+    assert from_env is not None and from_env.directory.name == "from-env"
+    # Explicit argument wins over the environment.
+    assert cache_from_env(str(tmp_path / "explicit")).directory.name == "explicit"

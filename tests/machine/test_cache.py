@@ -29,6 +29,63 @@ def test_cache_guards_against_unvalidated_geometry():
         Cache(geometry)
 
 
+@pytest.mark.parametrize("line_words", [3, 5, 6, 7, 12, 100])
+def test_non_power_of_two_line_words_rejected(line_words):
+    with pytest.raises(ValueError, match="power of two"):
+        CacheGeometry(total_lines=4, associativity=2, line_words=line_words)
+
+
+@pytest.mark.parametrize("line_words", [0, -1, -8])
+def test_non_positive_line_words_rejected(line_words):
+    with pytest.raises(ValueError, match="positive"):
+        CacheGeometry(total_lines=4, associativity=2, line_words=line_words)
+
+
+@pytest.mark.parametrize("smuggled", [0, 6])
+def test_cache_guard_rejects_smuggled_degenerate_line_words(smuggled):
+    """Size 0 and non-power sizes fail the shift guard, not map wrongly.
+
+    ``line_words=0`` computes a negative shift, which must surface as a
+    loud ValueError rather than silently mis-mapping every address.
+    """
+    geometry = CacheGeometry(total_lines=4, associativity=2, line_words=4)
+    object.__setattr__(geometry, "line_words", smuggled)
+    with pytest.raises(ValueError):
+        Cache(geometry)
+
+
+def test_single_word_lines_are_valid_and_map_identity():
+    """line_words=1 is the power-of-two floor: every word is its own line."""
+    cache = small_cache(lines=4, ways=2, line_words=1)
+    for address in range(8):
+        assert cache.line_address(address) == address
+    cache.fill(0)
+    assert cache.lookup(0)
+    assert not cache.lookup(1)  # the neighbouring word is a separate line
+
+
+def test_single_line_cache_degenerates_to_one_slot():
+    geometry = CacheGeometry(total_lines=1, associativity=1, line_words=4)
+    assert geometry.sets == 1
+    cache = Cache(geometry)
+    cache.fill(0)
+    assert cache.contains(0)
+    evicted = cache.fill(4)  # next line displaces the only slot
+    assert evicted is not None and evicted.line_address == 0
+    assert not cache.contains(0)
+
+
+def test_fully_associative_geometry_has_one_set():
+    geometry = CacheGeometry(total_lines=4, associativity=4, line_words=2)
+    assert geometry.sets == 1
+    cache = Cache(geometry)
+    for line in range(4):
+        cache.fill(line * 2)
+    assert all(cache.contains(line * 2) for line in range(4))
+    evicted = cache.fill(4 * 2)
+    assert evicted.line_address == 0  # true LRU across the single set
+
+
 def test_line_mapping():
     cache = small_cache(line_words=4)
     assert cache.line_address(0) == cache.line_address(3)
