@@ -10,10 +10,16 @@ Usage (also available as ``python -m repro``)::
     repro experiment fig3 [--scale 1.0] [--format json]
     repro experiments
     repro bench [--out BENCH_dev.json] [--compare BASELINE.json]
+    repro profile fig4 [--scale 1.0] [--exact | --sample-every N]
+    repro trace export run.jsonl -o run.trace.json
+    repro trace validate run.trace.json
 
 Telemetry flags work globally and per-subcommand: ``--trace-out FILE``
 streams span and per-RCMP decision events as JSONL, ``--metrics`` prints
-the metrics registry once the command finishes.
+the metrics registry once the command finishes, and ``--timeline N``
+attaches the windowed microarchitectural sampler (one occupancy/
+pressure sample every N retired instructions, recorded as ``timeline``
+events in the trace).
 
 Evaluation-engine flags (also global or per-subcommand): ``--jobs N``
 fans benchmark evaluations over N worker processes (default:
@@ -45,6 +51,17 @@ from .workloads.suite import REGISTRY, get
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
+    try:
+        return _main(argv)
+    except BrokenPipeError:
+        # Output piped into `head` & co.; the consumer closing early is
+        # not an error worth a traceback.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+
+
+def _main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.command is None:
@@ -52,9 +69,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
     trace_out = getattr(args, "trace_out", None)
     metrics = getattr(args, "metrics", False)
-    if not (trace_out or metrics):
+    timeline = getattr(args, "timeline", None)
+    if not (trace_out or metrics or timeline):
         return args.handler(args)
-    with telemetry_session(trace_path=trace_out) as telemetry:
+    with telemetry_session(
+        trace_path=trace_out, timeline_window=timeline
+    ) as telemetry:
         code = args.handler(args)
         if metrics:
             print()
@@ -78,6 +98,11 @@ def _add_telemetry_flags(command: argparse.ArgumentParser) -> None:
     command.add_argument(
         "--metrics", action="store_true", default=argparse.SUPPRESS,
         help="print the metrics registry when the command finishes",
+    )
+    command.add_argument(
+        "--timeline", type=int, metavar="N", default=argparse.SUPPRESS,
+        help="sample SFile/Hist/IBuff/cache occupancy every N retired "
+             "instructions (recorded as timeline events)",
     )
 
 
@@ -126,6 +151,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the metrics registry when the command finishes",
     )
     parser.add_argument(
+        "--timeline", type=int, metavar="N", default=None,
+        help="sample SFile/Hist/IBuff/cache occupancy every N retired "
+             "instructions (recorded as timeline events)",
+    )
+    parser.add_argument(
         "--jobs", type=int, metavar="N", default=None,
         help="evaluate benchmarks over N worker processes "
              "(default: $REPRO_JOBS or 1)",
@@ -165,15 +195,76 @@ def build_parser() -> argparse.ArgumentParser:
     stats_cmd = sub.add_parser(
         "stats", help="run one benchmark with telemetry and summarise it"
     )
-    stats_cmd.add_argument("benchmark")
+    stats_cmd.add_argument("benchmark", nargs="?", default=None)
     stats_cmd.add_argument("--policy", default=None, choices=POLICY_NAMES,
                            help="evaluate one policy (default: all)")
     stats_cmd.add_argument("--scale", type=float, default=1.0)
     stats_cmd.add_argument("--top", type=int, default=5,
                            help="hottest spans to list")
+    stats_cmd.add_argument(
+        "--from-trace", metavar="FILE", default=None,
+        help="summarise a recorded JSONL trace instead of running",
+    )
+    stats_cmd.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (json is stable for scripting)",
+    )
     _add_telemetry_flags(stats_cmd)
     _add_runner_flags(stats_cmd)
     stats_cmd.set_defaults(handler=cmd_stats)
+
+    profile_cmd = sub.add_parser(
+        "profile",
+        help="hot-loop profile: per-opcode wall-clock and energy attribution",
+    )
+    profile_cmd.add_argument(
+        "target",
+        help="benchmark name (e.g. mcf) or experiment id (e.g. fig4)",
+    )
+    profile_cmd.add_argument("--scale", type=float, default=1.0)
+    profile_cmd.add_argument(
+        "--sample-every", type=int, default=None, metavar="N",
+        help="attribute one sample every N dispatches (default: 16)",
+    )
+    profile_cmd.add_argument(
+        "--exact", action="store_true",
+        help="per-dispatch attribution (sample-every 1; slower, precise)",
+    )
+    profile_cmd.add_argument(
+        "--top", type=int, default=0,
+        help="rows to print (0 = all)",
+    )
+    profile_cmd.add_argument(
+        "--fold-runs", action="store_true",
+        help="fold classic/amnesic rows into one row per opcode",
+    )
+    profile_cmd.add_argument(
+        "--format", choices=("table", "json"), default="table",
+        help="output format (json is stable for scripting)",
+    )
+    profile_cmd.set_defaults(handler=cmd_profile)
+
+    trace_cmd = sub.add_parser(
+        "trace", help="export and validate recorded telemetry traces"
+    )
+    trace_sub = trace_cmd.add_subparsers(dest="trace_command")
+    trace_cmd.set_defaults(handler=lambda args: (trace_cmd.print_help(), 2)[1])
+    export_cmd = trace_sub.add_parser(
+        "export",
+        help="convert a JSONL trace into Chrome/Perfetto trace_event JSON",
+    )
+    export_cmd.add_argument("trace", help="JSONL trace from --trace-out")
+    export_cmd.add_argument(
+        "-o", "--out", default=None,
+        help="output path (default: <trace stem>.trace.json)",
+    )
+    export_cmd.set_defaults(handler=cmd_trace_export)
+    validate_cmd = trace_sub.add_parser(
+        "validate",
+        help="structurally check an exported trace_event JSON file",
+    )
+    validate_cmd.add_argument("trace", help="exported .trace.json file")
+    validate_cmd.set_defaults(handler=cmd_trace_validate)
 
     compile_cmd = sub.add_parser("compile", help="show a benchmark's slices")
     compile_cmd.add_argument("benchmark")
@@ -366,8 +457,114 @@ def cmd_run(args) -> int:
     return 0
 
 
+def _stats_json_payload(spec, args, results, telemetry) -> dict:
+    """The ``repro stats --format json`` document for a live run."""
+    from .telemetry.summary import cache_stats, hottest_spans, rcmp_breakdown
+    from .telemetry.views import figure_observables
+
+    events = getattr(telemetry.sink, "events", []) or []
+    return {
+        "benchmark": spec.name,
+        "scale": args.scale,
+        "policies": {
+            name: {
+                "edp_gain_percent": result.edp_gain_percent,
+                "energy_gain_percent": result.energy_gain_percent,
+                "time_gain_percent": result.time_gain_percent,
+                "fired": result.amnesic.stats.recomputations_fired,
+                "skipped": result.amnesic.stats.recomputations_skipped,
+                "fallbacks": result.amnesic.stats.recomputation_fallbacks,
+            }
+            for name, result in results.items()
+        },
+        "hottest_spans": [
+            {"name": name, "self_time_s": seconds, "count": count}
+            for name, seconds, count in hottest_spans(
+                telemetry.tracer.tree(), top=args.top
+            )
+        ],
+        "rcmp": rcmp_breakdown(telemetry.registry),
+        "caches": cache_stats(telemetry.registry),
+        "figures": figure_observables(events, telemetry.timelines),
+        "metrics": telemetry.registry.snapshot(),
+    }
+
+
+def _stats_from_trace(args) -> int:
+    """Summarise a recorded JSONL trace without re-running anything."""
+    from collections import defaultdict
+
+    from .telemetry.sink import read_events, reconstruct_spans
+    from .telemetry.summary import render_hottest_spans, render_span_tree
+    from .telemetry.views import figure_observables
+
+    path = args.from_trace
+    try:
+        events = read_events(path)
+    except OSError as error:
+        reason = error.strerror or str(error)
+        print(f"error: cannot read trace {path}: {reason}", file=sys.stderr)
+        return 1
+    if not events:
+        print(
+            f"error: trace {path} contains no telemetry events "
+            f"(empty or fully corrupt file)",
+            file=sys.stderr,
+        )
+        return 1
+    roots = reconstruct_spans(events)
+    outcomes: dict = defaultdict(lambda: defaultdict(int))
+    for event in events:
+        if event.get("type") == "rcmp":
+            outcomes[str(event.get("policy", "?"))][
+                str(event.get("outcome", "?"))
+            ] += 1
+    if args.format == "json":
+        payload = {
+            "trace": path,
+            "events": len(events),
+            "skipped_lines": events.skipped_lines,
+            "rcmp": {policy: dict(counts) for policy, counts in outcomes.items()},
+            "figures": figure_observables(events),
+            "spans": len(roots),
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    if events.skipped_lines:
+        print(
+            f"warning: skipped {events.skipped_lines} undecodable line(s) "
+            f"(truncated trace?)",
+            file=sys.stderr,
+        )
+    print(f"trace {path}: {len(events)} events")
+    print()
+    print("== span tree ==")
+    print(render_span_tree(roots))
+    print()
+    print("== hottest spans ==")
+    print(render_hottest_spans(roots, top=args.top))
+    if outcomes:
+        print()
+        print("== recomputation ==")
+        for policy in sorted(outcomes):
+            counts = outcomes[policy]
+            detail = ", ".join(
+                f"{outcome}={counts[outcome]}" for outcome in sorted(counts)
+            )
+            print(f"  {policy}: {detail}")
+    return 0
+
+
 def cmd_stats(args) -> int:
     """Evaluate one benchmark with telemetry on and print the summary."""
+    if args.from_trace:
+        return _stats_from_trace(args)
+    if not args.benchmark:
+        print(
+            "error: a benchmark name (or --from-trace FILE) is required",
+            file=sys.stderr,
+        )
+        return 2
     spec = _lookup(args.benchmark)
     if spec is None:
         return 1
@@ -377,18 +574,176 @@ def cmd_stats(args) -> int:
         **_runner_options(args),
     )
 
-    def evaluate_and_summarise(telemetry) -> None:
+    def evaluate_and_summarise(telemetry) -> int:
         results = runner.result(args.benchmark)
+        if args.format == "json":
+            print(
+                json.dumps(
+                    _stats_json_payload(spec, args, results, telemetry),
+                    indent=2,
+                )
+            )
+            return 0
         print(_render_policy_table(spec, args.scale, results))
         print()
         print(render_summary(telemetry, top=args.top))
+        return 0
 
     ambient = get_telemetry()
     if ambient.enabled:  # --trace-out/--metrics already opened a session
-        evaluate_and_summarise(ambient)
+        return evaluate_and_summarise(ambient)
+    with telemetry_session(
+        # The JSON document embeds the live figure observables, which
+        # are derived from the per-RCMP events; the text summary only
+        # needs spans and metrics, so it skips event collection.
+        collect_events=args.format == "json",
+        timeline_window=getattr(args, "timeline", None),
+    ) as telemetry:
+        return evaluate_and_summarise(telemetry)
+
+
+def cmd_profile(args) -> int:
+    """Profile the interpreter hot loop over a benchmark or experiment."""
+    from .telemetry.profiler import (
+        DEFAULT_SAMPLE_EVERY,
+        HotLoopProfiler,
+        reconcile,
+        render_profile,
+    )
+
+    if args.exact and args.sample_every is not None:
+        print("--exact and --sample-every are mutually exclusive", file=sys.stderr)
+        return 2
+    sample_every = 1 if args.exact else (args.sample_every or DEFAULT_SAMPLE_EVERY)
+
+    is_experiment = args.target in EXPERIMENTS
+    if not is_experiment:
+        try:
+            get(args.target)
+        except KeyError:
+            print(
+                f"unknown profile target {args.target!r}: expected a "
+                f"benchmark (see `repro list`) or an experiment id "
+                f"({', '.join(sorted(EXPERIMENTS))})",
+                file=sys.stderr,
+            )
+            return 2
+
+    profiler = HotLoopProfiler(sample_every=sample_every)
+    # Profiling measures *this* process's wall clock, so the run is
+    # forced serial and uncached — a cache hit would profile nothing.
+    runner = SuiteRunner(scale=args.scale, jobs=1, cache_dir=None)
+    with telemetry_session(profiler=profiler) as session:
+        if is_experiment:
+            run_experiment(args.target, runner)
+        else:
+            runner.result(args.target)
+        snapshot = session.registry.snapshot()
+
+    def total(prefix: str) -> float:
+        return sum(
+            value for key, value in snapshot.items()
+            if key.startswith(prefix) and isinstance(value, (int, float))
+        )
+
+    reconciliation = reconcile(
+        profiler,
+        runstats_instructions=int(total("runstats.dynamic_instructions{")),
+        accounts_energy_nj=total("run.energy_nj{"),
+    )
+    if args.format == "json":
+        payload = profiler.to_json()
+        payload["target"] = args.target
+        payload["scale"] = args.scale
+        payload["reconciliation"] = reconciliation
+        print(json.dumps(payload, indent=2))
     else:
-        with telemetry_session() as telemetry:
-            evaluate_and_summarise(telemetry)
+        print(f"profile target: {args.target} (scale {args.scale})")
+        print(
+            render_profile(
+                profiler,
+                top=args.top,
+                fold_runs=args.fold_runs,
+                reconciliation=reconciliation,
+            )
+        )
+    return 0 if reconciliation["reconciled"] else 1
+
+
+def cmd_trace_export(args) -> int:
+    """Convert a recorded JSONL trace to Chrome trace_event JSON."""
+    from .telemetry.export import (
+        export_chrome_trace,
+        trace_summary,
+        validate_chrome_trace,
+    )
+    from .telemetry.sink import read_events
+
+    try:
+        events = read_events(args.trace)
+    except OSError as error:
+        reason = error.strerror or str(error)
+        print(f"error: cannot read trace {args.trace}: {reason}", file=sys.stderr)
+        return 1
+    if not events:
+        print(
+            f"error: trace {args.trace} contains no telemetry events",
+            file=sys.stderr,
+        )
+        return 1
+    if events.skipped_lines:
+        print(
+            f"warning: skipped {events.skipped_lines} undecodable line(s)",
+            file=sys.stderr,
+        )
+    trace = export_chrome_trace(events)
+    problems = validate_chrome_trace(trace)
+    if problems:
+        for problem in problems[:10]:
+            print(f"error: exported trace invalid: {problem}", file=sys.stderr)
+        return 1
+    out = args.out
+    if out is None:
+        stem = args.trace[:-6] if args.trace.endswith(".jsonl") else args.trace
+        out = f"{stem}.trace.json"
+    with open(out, "w", encoding="utf-8") as stream:
+        json.dump(trace, stream, separators=(",", ":"))
+    summary = trace_summary(trace)
+    print(
+        f"{out}: {summary['events']} trace events, "
+        f"{summary['threads']} thread track(s), "
+        f"{summary['counter_tracks']} counter track(s) "
+        f"(open in ui.perfetto.dev)"
+    )
+    return 0
+
+
+def cmd_trace_validate(args) -> int:
+    """Structurally validate an exported trace_event JSON file."""
+    from .telemetry.export import trace_summary, validate_chrome_trace
+
+    try:
+        with open(args.trace, "r", encoding="utf-8") as stream:
+            trace = json.load(stream)
+    except OSError as error:
+        reason = error.strerror or str(error)
+        print(f"error: cannot read {args.trace}: {reason}", file=sys.stderr)
+        return 1
+    except ValueError as error:
+        print(f"error: {args.trace} is not valid JSON: {error}", file=sys.stderr)
+        return 1
+    problems = validate_chrome_trace(trace)
+    if problems:
+        for problem in problems:
+            print(f"error: {problem}", file=sys.stderr)
+        print(f"{args.trace}: INVALID ({len(problems)} problem(s))")
+        return 1
+    summary = trace_summary(trace)
+    print(
+        f"{args.trace}: ok — {summary['events']} events, "
+        f"{summary['threads']} thread track(s), "
+        f"{summary['counter_tracks']} counter track(s)"
+    )
     return 0
 
 

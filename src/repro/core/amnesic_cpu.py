@@ -79,6 +79,27 @@ class AmnesicCPU(CPU):
         self.fired_slice_ids: set = set()
 
     # ------------------------------------------------------------------
+    # Timeline observability.
+    # ------------------------------------------------------------------
+    def observe(self) -> dict:
+        """Classic run counters plus the amnesic structure snapshots."""
+        snapshot = super().observe()
+        for prefix, structure in (
+            ("sfile", self.sfile),
+            ("hist", self.hist),
+            ("ibuff", self.ibuff),
+        ):
+            for name, value in structure.observe().items():
+                snapshot[f"{prefix}.{name}"] = value
+        stats = self.stats
+        snapshot["rcmp.encountered"] = stats.rcmp_encountered
+        snapshot["rcmp.fired"] = stats.recomputations_fired
+        snapshot["rcmp.skipped"] = stats.recomputations_skipped
+        snapshot["rcmp.fallbacks"] = stats.recomputation_fallbacks
+        snapshot["slice.instructions"] = stats.slice_instructions_executed
+        return snapshot
+
+    # ------------------------------------------------------------------
     # Amnesic opcode dispatch.
     # ------------------------------------------------------------------
     def _execute_amnesic(self, instruction: Instruction) -> None:

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import dataclasses
 from collections import OrderedDict
-from typing import Optional, Tuple, Union
+from typing import Dict, Optional, Tuple, Union
 
 from ..errors import HistOverflow
 
@@ -115,3 +115,19 @@ class HistoryTable:
     @property
     def occupancy(self) -> int:
         return len(self._entries)
+
+    def observe(self) -> Dict[str, float]:
+        """Flat snapshot for the telemetry timeline sampler.
+
+        ``occupancy``/``high_water`` are levels; the rest is cumulative
+        traffic.  Polled only at window boundaries.
+        """
+        stats = self.stats
+        return {
+            "occupancy": self.occupancy,
+            "high_water": stats.high_water,
+            "writes": stats.writes,
+            "reads": stats.reads,
+            "evictions": stats.evictions,
+            "missing_reads": stats.missing_reads,
+        }

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import dataclasses
 from collections import OrderedDict
+from typing import Dict
 
 #: Default IBuff capacity in instructions.
 DEFAULT_IBUFF_CAPACITY = 64
@@ -66,3 +67,14 @@ class InstructionBuffer:
     @property
     def occupancy(self) -> int:
         return len(self._entries)
+
+    def observe(self) -> Dict[str, float]:
+        """Flat snapshot for the telemetry timeline sampler."""
+        stats = self.stats
+        return {
+            "occupancy": self.occupancy,
+            "high_water": stats.high_water,
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "evictions": stats.evictions,
+        }

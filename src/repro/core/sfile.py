@@ -79,6 +79,22 @@ class SFile:
     def occupancy(self) -> int:
         return self.capacity - len(self._free)
 
+    def observe(self) -> Dict[str, float]:
+        """Flat snapshot for the telemetry timeline sampler.
+
+        ``occupancy``/``high_water`` are levels; reads/writes/renames are
+        cumulative.  Only polled at window boundaries, so the hot path
+        never pays for it.
+        """
+        stats = self.stats
+        return {
+            "occupancy": self.occupancy,
+            "high_water": stats.high_water,
+            "reads": stats.reads,
+            "writes": stats.writes,
+            "rename_requests": stats.rename_requests,
+        }
+
 
 class Renamer:
     """Maps virtual slice registers to physical SFile entries."""

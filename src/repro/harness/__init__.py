@@ -9,6 +9,7 @@ from .experiments import (
     run_experiment,
 )
 from .parallel import (
+    ParallelEvaluationError,
     ResultEnvelope,
     WorkUnit,
     default_jobs,
@@ -24,6 +25,7 @@ __all__ = [
     "DEFAULT_EXPERIMENTS",
     "EXPERIMENTS",
     "ExperimentReport",
+    "ParallelEvaluationError",
     "ResultCache",
     "ResultEnvelope",
     "ResultKey",

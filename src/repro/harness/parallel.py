@@ -15,11 +15,21 @@ to a :class:`concurrent.futures.ProcessPoolExecutor` instead:
   events (spans, per-RCMP decision records);
 * :func:`evaluate_many` preserves submission order — results come back
   deterministically no matter which worker finished first — and falls
-  back to in-process execution for ``jobs=1`` or a single unit;
+  back to in-process execution for ``jobs=1`` or a single unit.  Each
+  unit is submitted as its own future, so one worker dying mid-batch
+  (OOM kill, segfault) costs only that unit: the survivors' telemetry
+  is merged exactly once and the failure is raised as a
+  :class:`ParallelEvaluationError` naming the lost benchmarks;
 * :func:`merge_envelope` folds a worker's telemetry back into the
   parent session (counters add, histograms extend, gauges last-write,
   events re-emitted to the parent sink), so ``repro stats`` and
-  ``--trace-out`` report a complete picture across workers.
+  ``--trace-out`` report a complete picture across workers.  Worker
+  events are tagged with the worker's pid, span ids are remapped into
+  the parent tracer's id space, and worker root spans are re-parented
+  under the parent's open span — a merged trace reconstructs as one
+  tree with cross-process nesting intact, and each worker's
+  ``clock_sync`` event lets :mod:`repro.telemetry.export` align every
+  process onto one timeline.
 
 Within one unit the compile-once/run-many structure of
 :func:`repro.core.execution.evaluate_policies` is preserved: the worker
@@ -68,6 +78,9 @@ class WorkUnit:
     max_instructions: int = DEFAULT_MAX_INSTRUCTIONS
     capture_metrics: bool = True
     capture_events: bool = True
+    #: Mirror of the parent session's timeline window: workers sample
+    #: their own runs and the timeline events merge back with the rest.
+    timeline_window: Optional[int] = None
 
     @classmethod
     def mirroring(
@@ -75,9 +88,13 @@ class WorkUnit:
     ) -> "WorkUnit":
         """A unit whose capture settings mirror the given session."""
         telemetry = telemetry or get_telemetry()
+        capture_events = telemetry.enabled and telemetry.sink is not None
         return cls(
             capture_metrics=telemetry.enabled,
-            capture_events=telemetry.enabled and telemetry.sink is not None,
+            capture_events=capture_events,
+            timeline_window=(
+                telemetry.timeline_window if capture_events else None
+            ),
             **fields,
         )
 
@@ -94,6 +111,9 @@ class ResultEnvelope:
     metrics: List[dict] = dataclasses.field(default_factory=list)
     #: Structured events (span open/close, RCMP decisions) in emit order.
     events: List[dict] = dataclasses.field(default_factory=list)
+    #: Pid of the process that evaluated the unit; the merge tags the
+    #: re-emitted events with it so traces attribute work per worker.
+    worker_pid: Optional[int] = None
 
 
 def _evaluate(unit: WorkUnit) -> Dict[str, PolicyComparison]:
@@ -127,7 +147,10 @@ def evaluate_unit(unit: WorkUnit) -> ResultEnvelope:
         )
 
     sink = ListSink() if unit.capture_events else None
-    with telemetry_session(sink=sink) as telemetry:
+    with telemetry_session(
+        sink=sink,
+        timeline_window=unit.timeline_window if unit.capture_events else None,
+    ) as telemetry:
         with telemetry.span(
             "suite.benchmark", benchmark=unit.benchmark, scale=unit.scale
         ):
@@ -139,20 +162,73 @@ def evaluate_unit(unit: WorkUnit) -> ResultEnvelope:
         comparisons=comparisons,
         metrics=metrics,
         events=sink.events if sink is not None else [],
+        worker_pid=os.getpid(),
     )
 
 
 def merge_envelope(
     envelope: ResultEnvelope, telemetry: Optional[Telemetry] = None
 ) -> None:
-    """Fold a worker's telemetry into the (enabled) parent session."""
+    """Fold a worker's telemetry into the (enabled) parent session.
+
+    Besides the metric fold, the event re-emission rewrites span
+    identity so the merged trace reads as one session:
+
+    * every event gains a ``worker`` field (the worker pid);
+    * span ids are remapped to fresh ids from the parent tracer, so two
+      workers' span 0 never collide;
+    * worker *root* spans are re-parented under the span open in the
+      parent at merge time (``suite.parallel``), preserving cross
+      process parent/child nesting in the reconstructed tree.
+    """
     telemetry = telemetry or get_telemetry()
     if not telemetry.enabled:
         return
     telemetry.registry.merge_dump(envelope.metrics)
-    if telemetry.sink is not None:
-        for event in envelope.events:
-            telemetry.sink.emit(event)
+    if telemetry.sink is None:
+        return
+    anchor = telemetry.tracer.current()
+    anchor_id = None if anchor is None else anchor.span_id
+    remap: Dict[int, int] = {}
+
+    def remapped(span_id) -> int:
+        span_id = int(span_id)
+        if span_id not in remap:
+            remap[span_id] = telemetry.tracer.allocate_id()
+        return remap[span_id]
+
+    for event in envelope.events:
+        event = dict(event)
+        if envelope.worker_pid is not None and "worker" not in event:
+            event["worker"] = envelope.worker_pid
+        kind = event.get("type")
+        if kind in ("span_open", "span_close") and "span" in event:
+            event["span"] = remapped(event["span"])
+            if kind == "span_open":
+                parent = event.get("parent")
+                event["parent"] = (
+                    anchor_id if parent is None else remapped(parent)
+                )
+        telemetry.sink.emit(event)
+
+
+class ParallelEvaluationError(RuntimeError):
+    """One or more workers died mid-batch.
+
+    Raised *after* the surviving envelopes' telemetry has been merged
+    (exactly once), so a partial batch still reports everything it
+    measured.  ``failures`` maps benchmark name to the error string;
+    ``envelopes`` holds the surviving results in submission order.
+    """
+
+    def __init__(self, failures, envelopes):
+        self.failures = list(failures)
+        self.envelopes = list(envelopes)
+        names = ", ".join(name for name, _ in self.failures)
+        super().__init__(
+            f"{len(self.failures)} evaluation(s) failed in worker "
+            f"processes: {names}"
+        )
 
 
 def default_jobs() -> int:
@@ -183,15 +259,32 @@ def evaluate_many(
     units = list(units)
     telemetry = get_telemetry()
     workers = min(max(1, jobs), len(units)) if units else 1
+    failures: List[Tuple[str, BaseException]] = []
     with telemetry.span("suite.parallel", units=len(units), jobs=workers):
         if workers <= 1:
             envelopes = [evaluate_unit(unit) for unit in units]
         else:
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                # Executor.map preserves input order, giving
-                # deterministic result ordering for free.
-                envelopes = list(pool.map(evaluate_unit, units))
-    if merge_telemetry:
-        for envelope in envelopes:
-            merge_envelope(envelope, telemetry)
+                # One future per unit (not Executor.map): a worker that
+                # dies poisons only its own future, and iterating in
+                # submission order keeps results deterministic.
+                futures = [pool.submit(evaluate_unit, unit) for unit in units]
+                envelopes = []
+                for unit, future in zip(units, futures):
+                    try:
+                        envelopes.append(future.result())
+                    except Exception as error:
+                        envelopes.append(None)
+                        failures.append((unit.benchmark, error))
+        # Merge inside the suite.parallel span so worker root spans are
+        # re-parented under it (the cross-process nesting anchor).
+        if merge_telemetry:
+            for envelope in envelopes:
+                if envelope is not None:
+                    merge_envelope(envelope, telemetry)
+    if failures:
+        raise ParallelEvaluationError(
+            [(name, str(error)) for name, error in failures],
+            [envelope for envelope in envelopes if envelope is not None],
+        )
     return envelopes

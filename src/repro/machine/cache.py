@@ -158,6 +158,23 @@ class Cache:
         """Number of lines currently resident."""
         return sum(len(s) for s in self._sets)
 
+    def observe(self) -> Dict[str, float]:
+        """Flat snapshot for the telemetry timeline sampler.
+
+        ``occupancy`` is instantaneous; every other series is cumulative
+        (the sampler differences consecutive snapshots into per-window
+        rates).  Called only at window boundaries — never on the access
+        path — so it costs nothing when telemetry is off.
+        """
+        stats = self.stats
+        return {
+            "occupancy": self.occupancy(),
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "evictions": stats.evictions,
+            "writebacks": stats.writebacks,
+        }
+
     def __repr__(self) -> str:
         geometry = self.geometry
         return (

@@ -68,6 +68,10 @@ class CPU:
         self.halted = False
         self._dynamic_index = 0
         self._charged_writeback_nj = 0.0
+        #: Windowed timeline track, attached by the telemetry runtime at
+        #: run start; None (one pointer check per retired instruction)
+        #: whenever telemetry is off or no timeline was requested.
+        self._timeline = None
 
     # ------------------------------------------------------------------
     # Operand plumbing.
@@ -106,22 +110,103 @@ class CPU:
     def run(self) -> RunStats:
         """Execute until HALT; return the run statistics."""
         telemetry = get_telemetry()
+        profiler = telemetry.active_profiler()
+        self._timeline = telemetry.open_timeline(self)
         with telemetry.span(f"execute.{self.TELEMETRY_LABEL}") as span:
-            while not self.halted:
-                if self._dynamic_index >= self.max_instructions:
-                    raise ExecutionLimitExceeded(
-                        f"exceeded {self.max_instructions} dynamic instructions",
-                        pc=self.pc,
-                    )
-                self.step()
-            self.finalize()
+            try:
+                if profiler is None:
+                    self._run_loop()
+                else:
+                    self._run_loop_profiled(profiler)
+            finally:
+                if self._timeline is not None:
+                    self._timeline.close(self._dynamic_index)
+                    self._timeline = None
             span.set(
                 instructions=self._dynamic_index,
                 energy_nj=round(self.account.total_energy_nj, 3),
                 time_ns=round(self.account.total_time_ns, 3),
             )
         telemetry.publish_run_stats(self.stats, run=self.TELEMETRY_LABEL)
+        if telemetry.enabled:
+            telemetry.counter("run.energy_nj", run=self.TELEMETRY_LABEL).inc(
+                self.account.total_energy_nj
+            )
+            telemetry.counter("run.time_ns", run=self.TELEMETRY_LABEL).inc(
+                self.account.total_time_ns
+            )
         return self.stats
+
+    def _run_loop(self) -> None:
+        """The plain dispatch loop (no profiler attached)."""
+        while not self.halted:
+            if self._dynamic_index >= self.max_instructions:
+                raise ExecutionLimitExceeded(
+                    f"exceeded {self.max_instructions} dynamic instructions",
+                    pc=self.pc,
+                )
+            self.step()
+        self.finalize()
+
+    def _run_loop_profiled(self, profiler) -> None:
+        """Dispatch loop with per-opcode wall/instruction/energy sampling.
+
+        Records at every ``sample_every``-th dispatch; the recorded
+        deltas telescope, so profile totals stay exact at any stride
+        (see :mod:`repro.telemetry.profiler`).
+        """
+        profiler.runs += 1
+        clock = profiler.clock
+        label = self.TELEMETRY_LABEL
+        stride = profiler.sample_every
+        pending = stride
+        account = self.account
+        last_t = clock()
+        last_d = self._dynamic_index
+        last_e = account.total_energy_nj
+        opcode_name = None
+        while not self.halted:
+            if self._dynamic_index >= self.max_instructions:
+                raise ExecutionLimitExceeded(
+                    f"exceeded {self.max_instructions} dynamic instructions",
+                    pc=self.pc,
+                )
+            try:
+                instruction = self.program.instruction_at(self.pc)
+            except IndexError:
+                raise MachineFault(
+                    "pc ran off the end of the program", pc=self.pc
+                ) from None
+            opcode_name = instruction.opcode.value
+            self.execute(instruction)
+            pending -= 1
+            if pending == 0:
+                pending = stride
+                now = clock()
+                energy = account.total_energy_nj
+                profiler.record(
+                    label,
+                    opcode_name,
+                    now - last_t,
+                    self._dynamic_index - last_d,
+                    energy - last_e,
+                )
+                last_t, last_d, last_e = now, self._dynamic_index, energy
+        if pending != stride and opcode_name is not None:
+            # Flush the partial tail so instruction/energy totals stay exact.
+            now = clock()
+            energy = account.total_energy_nj
+            profiler.record(
+                label, opcode_name, now - last_t,
+                self._dynamic_index - last_d, energy - last_e,
+            )
+            last_t, last_e = now, energy
+        before = account.total_energy_nj
+        start = clock()
+        self.finalize()
+        profiler.record_finalize(
+            label, clock() - start, account.total_energy_nj - before
+        )
 
     def step(self) -> None:
         """Execute one instruction at the current pc."""
@@ -262,6 +347,9 @@ class CPU:
     ) -> None:
         index = self._dynamic_index
         self._dynamic_index += 1
+        timeline = self._timeline
+        if timeline is not None and self._dynamic_index >= timeline.next_capture:
+            timeline.capture(self._dynamic_index)
         if self.tracer is None:
             return
         self.tracer.on_instruction(
@@ -281,3 +369,23 @@ class CPU:
     def dynamic_count(self) -> int:
         """Number of retired dynamic instructions."""
         return self._dynamic_index
+
+    # ------------------------------------------------------------------
+    # Timeline observability.
+    # ------------------------------------------------------------------
+    def observe(self) -> dict:
+        """Flat snapshot of run counters and hierarchy pressure.
+
+        The telemetry timeline sampler polls this at window boundaries
+        only; the amnesic CPU extends it with SFile/Hist/IBuff series.
+        """
+        snapshot = {
+            "instructions": self._dynamic_index,
+            "loads": self.stats.loads_performed,
+            "stores": self.stats.stores_performed,
+            "branches_taken": self.stats.branches_taken,
+            "energy_nj": self.account.total_energy_nj,
+        }
+        for name, value in self.hierarchy.observe().items():
+            snapshot[name] = value
+        return snapshot

@@ -156,6 +156,17 @@ class MemoryHierarchy:
             latency += self.config.l2_params.latency_ns
         return Access(level=found or Level.MEM, energy_nj=energy, latency_ns=latency)
 
+    def observe(self) -> Dict[str, float]:
+        """Flat per-level snapshot for the telemetry timeline sampler."""
+        snapshot: Dict[str, float] = {}
+        for cache in (self.l1, self.l2):
+            prefix = cache.name.lower().replace("-d", "")
+            for key, value in cache.observe().items():
+                snapshot[f"{prefix}.{key}"] = value
+        for level, count in self.stats.loads_by_level.items():
+            snapshot[f"loads.{level.value}"] = count
+        return snapshot
+
     def residence(self, address: int) -> Level:
         """Where a load of *address* would be serviced right now (oracle)."""
         if self.l1.contains(address):

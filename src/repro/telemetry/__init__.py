@@ -13,6 +13,15 @@ Disabled by default and free when off; enable it around any workload::
 See ``docs/observability.md`` for the full guide.
 """
 
+from .export import export_chrome_trace, trace_summary, validate_chrome_trace
+from .profiler import (
+    DEFAULT_SAMPLE_EVERY,
+    HotLoopProfiler,
+    ProfileRow,
+    ProfileTotals,
+    reconcile,
+    render_profile,
+)
 from .registry import Counter, Gauge, Histogram, MetricsRegistry, Timer
 from .runtime import (
     Telemetry,
@@ -23,11 +32,20 @@ from .runtime import (
 from .sink import (
     JsonlSink,
     ListSink,
+    TraceReadResult,
     decision_records,
     read_events,
     reconstruct_spans,
 )
 from .spans import Span, SpanNode, SpanTracer, build_tree
+from .timeline import (
+    DEFAULT_TIMELINE_WINDOW,
+    TimelineTrack,
+    WindowSample,
+    is_level_series,
+    render_track,
+)
+from .views import figure_observables, occupancy_view, slice_length_view
 from .summary import (
     PhaseTotal,
     cache_hit_rate,
@@ -43,6 +61,24 @@ from .summary import (
 )
 
 __all__ = [
+    "DEFAULT_SAMPLE_EVERY",
+    "DEFAULT_TIMELINE_WINDOW",
+    "HotLoopProfiler",
+    "ProfileRow",
+    "ProfileTotals",
+    "TimelineTrack",
+    "TraceReadResult",
+    "WindowSample",
+    "export_chrome_trace",
+    "figure_observables",
+    "is_level_series",
+    "occupancy_view",
+    "reconcile",
+    "render_profile",
+    "render_track",
+    "slice_length_view",
+    "trace_summary",
+    "validate_chrome_trace",
     "Counter",
     "Gauge",
     "Histogram",

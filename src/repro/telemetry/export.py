@@ -1,0 +1,290 @@
+"""Chrome/Perfetto ``trace_event`` export for recorded JSONL traces.
+
+A ``--trace-out`` file (optionally containing merged worker events from
+a ``--jobs N`` run) becomes one coherent timeline in ``ui.perfetto.dev``
+or ``chrome://tracing``:
+
+* ``span_open``/``span_close`` pairs become complete (``ph: "X"``)
+  events — still-open spans from a truncated trace become ``"B"``
+  begin events so nothing silently disappears;
+* ``timeline`` windows (:mod:`repro.telemetry.timeline`) become counter
+  (``ph: "C"``) events, one track per series — SFile/Hist/IBuff
+  occupancy, cache residency, per-window miss rates;
+* every process that contributed events is a separate *thread* track
+  ("main" for the parent session, "worker <pid>" for each pool worker)
+  under one process, so worker spans nest visually under the parent
+  run's ``suite.parallel`` span.
+
+Cross-process clock alignment uses the ``clock_sync`` events each
+telemetry session emits (``perf_counter`` + wall clock + pid):
+``perf_counter`` epochs are arbitrary per process, so a worker
+timestamp ``t`` is rebased onto the parent's timeline as::
+
+    t_parent = t + (worker.wall - worker.perf) - (parent.wall - parent.perf)
+
+i.e. the wall clocks (shared across processes) bridge the two monotonic
+epochs.  Traces recorded without sync events export with raw
+timestamps.
+
+:func:`validate_chrome_trace` structurally checks an exported trace
+against the ``trace_event`` format, which is what the CI smoke job
+asserts before uploading the artifact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Microseconds per second — trace_event timestamps are in µs.
+_US = 1e6
+
+#: The tid assigned to the parent session's events.
+MAIN_TID = 1
+
+#: Phases the validator accepts (the subset the exporter emits, plus
+#: the duration/instant phases hand-written traces commonly use).
+_KNOWN_PHASES = frozenset({"X", "B", "E", "C", "M", "i", "I"})
+
+
+def _worker_of(event: Dict[str, object]) -> Optional[int]:
+    """The worker pid an event was merged from (None = parent session)."""
+    worker = event.get("worker")
+    return None if worker is None else int(worker)
+
+
+def _clock_offsets(
+    events: Iterable[Dict[str, object]],
+) -> Dict[Optional[int], float]:
+    """Per-process perf-counter offsets onto the parent's timeline."""
+    syncs: Dict[Optional[int], Dict[str, object]] = {}
+    for event in events:
+        if event.get("type") != "clock_sync":
+            continue
+        key = _worker_of(event)
+        if key not in syncs:  # first sync per process wins
+            syncs[key] = event
+    parent = syncs.get(None)
+    if parent is None:
+        return {key: 0.0 for key in syncs}
+    parent_skew = float(parent["wall"]) - float(parent["perf"])
+    return {
+        key: (float(sync["wall"]) - float(sync["perf"])) - parent_skew
+        for key, sync in syncs.items()
+    }
+
+
+def _tid(worker: Optional[int]) -> int:
+    return MAIN_TID if worker is None else int(worker)
+
+
+def export_chrome_trace(events: Iterable[Dict[str, object]]) -> Dict[str, object]:
+    """Convert parsed JSONL telemetry events into a trace_event object.
+
+    Returns the JSON-able trace dict (``{"traceEvents": [...], ...}``);
+    callers serialise it themselves (see ``repro trace export``).
+    """
+    events = list(events)
+    offsets = _clock_offsets(events)
+    pid = 1
+    for event in events:
+        if event.get("type") == "clock_sync" and _worker_of(event) is None:
+            pid = int(event.get("pid", 1))
+            break
+
+    def rebase(t: float, worker: Optional[int]) -> float:
+        return t + offsets.get(worker, 0.0)
+
+    # First pass: the zero point, so the trace starts near ts=0.
+    stamps = [
+        rebase(float(event["t"]), _worker_of(event))
+        for event in events
+        if "t" in event
+    ]
+    t0 = min(stamps) if stamps else 0.0
+
+    def ts_us(t: float, worker: Optional[int]) -> float:
+        return (rebase(t, worker) - t0) * _US
+
+    trace_events: List[Dict[str, object]] = []
+    workers_seen: List[Optional[int]] = []
+    # Open spans by (worker, span id); closed ones emit as X events.
+    open_spans: Dict[Tuple[Optional[int], int], Dict[str, object]] = {}
+
+    for event in events:
+        worker = _worker_of(event)
+        if worker not in workers_seen:
+            workers_seen.append(worker)
+        kind = event.get("type")
+        if kind == "span_open":
+            open_spans[(worker, int(event["span"]))] = event
+        elif kind == "span_close":
+            opened = open_spans.pop((worker, int(event["span"])), None)
+            if opened is None:
+                continue
+            start = ts_us(float(opened["t"]), worker)
+            end = ts_us(float(event["t"]), worker)
+            args = dict(opened.get("attrs") or {})
+            args.update(event.get("attrs") or {})
+            args["status"] = event.get("status", "ok")
+            if worker is not None:
+                args["worker"] = worker
+            trace_events.append(
+                {
+                    "name": str(opened["name"]),
+                    "cat": "span",
+                    "ph": "X",
+                    "ts": start,
+                    "dur": max(0.0, end - start),
+                    "pid": pid,
+                    "tid": _tid(worker),
+                    "args": args,
+                }
+            )
+        elif kind == "timeline":
+            track = str(event.get("track", "timeline"))
+            stamp = ts_us(float(event["t"]), worker)
+            series: List[Tuple[str, object]] = []
+            series.extend((event.get("levels") or {}).items())
+            series.extend((event.get("deltas") or {}).items())
+            for name, value in series:
+                trace_events.append(
+                    {
+                        "name": f"{track} {name}",
+                        "cat": "timeline",
+                        "ph": "C",
+                        "ts": stamp,
+                        "pid": pid,
+                        "tid": _tid(worker),
+                        "args": {"value": float(value)},
+                    }
+                )
+
+    # Spans that never closed (truncated trace): begin events keep them
+    # visible rather than dropping them.
+    for (worker, _), opened in sorted(
+        open_spans.items(), key=lambda item: float(item[1]["t"])
+    ):
+        trace_events.append(
+            {
+                "name": str(opened["name"]),
+                "cat": "span",
+                "ph": "B",
+                "ts": ts_us(float(opened["t"]), worker),
+                "pid": pid,
+                "tid": _tid(worker),
+                "args": dict(opened.get("attrs") or {}),
+            }
+        )
+
+    # Track metadata: name the process and one thread row per process.
+    metadata: List[Dict[str, object]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": MAIN_TID,
+            "args": {"name": "repro"},
+        }
+    ]
+    for sort_index, worker in enumerate(workers_seen):
+        metadata.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": _tid(worker),
+                "args": {
+                    "name": "main" if worker is None else f"worker {worker}"
+                },
+            }
+        )
+        metadata.append(
+            {
+                "name": "thread_sort_index",
+                "ph": "M",
+                "pid": pid,
+                "tid": _tid(worker),
+                "args": {"sort_index": sort_index},
+            }
+        )
+
+    return {
+        "traceEvents": metadata + trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "exporter": "repro trace export",
+            "processes": len(workers_seen),
+        },
+    }
+
+
+def validate_chrome_trace(trace: object) -> List[str]:
+    """Structural problems of a trace_event object (empty = valid).
+
+    Checks the invariants Perfetto/chrome://tracing rely on: the
+    ``traceEvents`` array, known phases, numeric µs timestamps,
+    non-negative durations, pid/tid on every event, and numeric counter
+    values.
+    """
+    problems: List[str] = []
+    if not isinstance(trace, dict):
+        return [f"trace must be a JSON object, got {type(trace).__name__}"]
+    trace_events = trace.get("traceEvents")
+    if not isinstance(trace_events, list):
+        return ["trace.traceEvents must be an array"]
+    if not trace_events:
+        problems.append("trace.traceEvents is empty")
+    for index, event in enumerate(trace_events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        phase = event.get("ph")
+        if phase not in _KNOWN_PHASES:
+            problems.append(f"{where}: unknown phase {phase!r}")
+            continue
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            problems.append(f"{where}: missing event name")
+        for field in ("pid", "tid"):
+            if not isinstance(event.get(field), int):
+                problems.append(f"{where}: {field} must be an integer")
+        if phase == "M":
+            if not isinstance(event.get("args"), dict):
+                problems.append(f"{where}: metadata event without args")
+            continue
+        if not isinstance(event.get("ts"), (int, float)):
+            problems.append(f"{where}: ts must be a number")
+        if phase == "X":
+            duration = event.get("dur")
+            if not isinstance(duration, (int, float)):
+                problems.append(f"{where}: X event without numeric dur")
+            elif duration < 0:
+                problems.append(f"{where}: negative duration {duration}")
+        if phase == "C":
+            args = event.get("args")
+            if not isinstance(args, dict) or not args:
+                problems.append(f"{where}: counter event without args")
+            elif not all(
+                isinstance(value, (int, float)) for value in args.values()
+            ):
+                problems.append(f"{where}: non-numeric counter value")
+    return problems
+
+
+def trace_summary(trace: Dict[str, object]) -> Dict[str, object]:
+    """Quick shape description of an exported trace (for the CLI)."""
+    counts: Dict[str, int] = {}
+    tids = set()
+    names = set()
+    for event in trace.get("traceEvents", []):
+        phase = str(event.get("ph"))
+        counts[phase] = counts.get(phase, 0) + 1
+        tids.add(event.get("tid"))
+        if phase == "C":
+            names.add(str(event.get("name")))
+    return {
+        "events": sum(counts.values()),
+        "by_phase": counts,
+        "threads": len(tids),
+        "counter_tracks": len(names),
+    }

@@ -18,6 +18,8 @@ the round trip ``emit -> JSONL -> parse -> tree`` losslessly.
 from __future__ import annotations
 
 import json
+import os
+import warnings
 from typing import IO, Dict, Iterable, List, Optional, Union
 
 from .spans import Span, SpanNode, build_tree
@@ -57,7 +59,17 @@ class JsonlSink:
         self.events_written += 1
 
     def close(self) -> None:
+        """Flush and fsync so a killed process leaves a loadable trace.
+
+        The fault-injection scenarios (and any ctrl-C'd run) rely on
+        the trace surviving up to at most one torn final line, which
+        :func:`read_events` tolerates on the way back in.
+        """
         self._stream.flush()
+        try:
+            os.fsync(self._stream.fileno())
+        except (OSError, ValueError, AttributeError):
+            pass  # in-memory streams (StringIO) have no file descriptor
         if self._owns_stream:
             self._stream.close()
 
@@ -81,15 +93,53 @@ class ListSink:
         pass
 
 
-def read_events(path: str) -> List[Dict[str, object]]:
-    """Parse a JSONL trace file back into event dicts."""
+class TraceReadResult(List[Dict[str, object]]):
+    """The parsed events of a trace, plus how many lines were skipped.
+
+    Behaves exactly like the plain list :func:`read_events` used to
+    return; ``skipped_lines`` counts undecodable lines (normally the
+    torn final line of a killed run's trace).
+    """
+
+    def __init__(self, events=(), skipped_lines: int = 0):
+        super().__init__(events)
+        self.skipped_lines = skipped_lines
+
+
+def read_events(path: str) -> TraceReadResult:
+    """Parse a JSONL trace file back into event dicts.
+
+    A line that does not decode as JSON is skipped (counted in the
+    result's ``skipped_lines`` and reported via :mod:`warnings`) rather
+    than raised: a process killed mid-:meth:`JsonlSink.emit` leaves at
+    most one torn line, and the rest of the trace is still good.
+    """
     events = []
+    skipped = 0
     with open(path, "r", encoding="utf-8") as stream:
-        for line in stream:
+        for number, line in enumerate(stream, start=1):
             line = line.strip()
-            if line:
-                events.append(json.loads(line))
-    return events
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError:
+                skipped += 1
+                warnings.warn(
+                    f"{path}:{number}: skipping undecodable trace line "
+                    f"(torn write from a killed run?)",
+                    stacklevel=2,
+                )
+                continue
+            if isinstance(event, dict):
+                events.append(event)
+            else:
+                skipped += 1
+                warnings.warn(
+                    f"{path}:{number}: skipping non-object trace line",
+                    stacklevel=2,
+                )
+    return TraceReadResult(events, skipped_lines=skipped)
 
 
 def reconstruct_spans(events: Iterable[Dict[str, object]]) -> List[SpanNode]:

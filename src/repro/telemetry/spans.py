@@ -89,6 +89,17 @@ class SpanTracer:
         """The innermost open span, if any."""
         return self._stack[-1] if self._stack else None
 
+    def allocate_id(self) -> int:
+        """Reserve one span id from this tracer's id space.
+
+        The parallel engine remaps worker-process span ids through this
+        when merging, so ids stay unique across the whole session and
+        reconstructed trees never alias spans from different workers.
+        """
+        span_id = self._next_id
+        self._next_id += 1
+        return span_id
+
     @contextmanager
     def span(self, name: str, **attrs):
         parent = self._stack[-1].span_id if self._stack else None

@@ -1,0 +1,213 @@
+"""CLI surface for the observability stack.
+
+``repro profile``, ``repro trace export|validate``, ``repro stats
+--format json`` and ``repro stats --from-trace`` — including the
+one-line (no traceback) error contract for missing or corrupt traces.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run_json(capsys, argv):
+    assert main(argv) == 0
+    return json.loads(capsys.readouterr().out)
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    """A real recorded trace: bfs under FLC with timeline sampling."""
+    path = tmp_path / "run.jsonl"
+    assert main(["run", "bfs", "--policy", "FLC", "--scale", "0.25",
+                 "--trace-out", str(path), "--timeline", "500"]) == 0
+    return path
+
+
+# ----------------------------------------------------------------------
+# repro profile
+# ----------------------------------------------------------------------
+def test_profile_benchmark_prints_ranked_table(capsys):
+    assert main(["profile", "bfs", "--scale", "0.25", "--exact"]) == 0
+    out = capsys.readouterr().out
+    assert "profile target: bfs" in out
+    assert "hot-loop profile" in out
+    assert "reconciliation vs RunStats: ok" in out
+    assert "opcode" in out
+
+
+def test_profile_experiment_target(capsys):
+    assert main(["profile", "table1", "--sample-every", "64"]) == 0
+    out = capsys.readouterr().out
+    assert "profile target: table1" in out
+    assert "reconciliation vs RunStats: ok" in out
+
+
+def test_profile_json_reconciles(capsys):
+    payload = run_json(
+        capsys, ["profile", "bfs", "--scale", "0.25", "--exact",
+                 "--format", "json"],
+    )
+    assert payload["target"] == "bfs"
+    assert payload["mode"] == "exact"
+    assert payload["reconciliation"]["reconciled"] is True
+    assert payload["reconciliation"]["instructions_delta"] == 0
+    assert payload["rows"], "profile must attribute at least one opcode"
+    total = sum(row["instructions"] for row in payload["rows"])
+    assert total == payload["totals"]["instructions"] > 0
+
+
+def test_profile_rejects_conflicting_modes(capsys):
+    assert main(["profile", "bfs", "--exact", "--sample-every", "4"]) == 2
+    assert "mutually exclusive" in capsys.readouterr().err
+
+
+def test_profile_unknown_target(capsys):
+    assert main(["profile", "nope"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown profile target" in err
+    assert "fig4" in err  # the error lists valid experiment ids
+
+
+# ----------------------------------------------------------------------
+# repro trace export / validate
+# ----------------------------------------------------------------------
+def test_trace_export_writes_valid_chrome_trace(trace_file, tmp_path, capsys):
+    out = tmp_path / "run.trace.json"
+    assert main(["trace", "export", str(trace_file), "-o", str(out)]) == 0
+    stdout = capsys.readouterr().out
+    assert "ui.perfetto.dev" in stdout
+    trace = json.loads(out.read_text())
+    phases = {event["ph"] for event in trace["traceEvents"]}
+    assert {"X", "C", "M"} <= phases
+    names = {e["name"] for e in trace["traceEvents"] if e["ph"] == "X"}
+    assert "evaluate" in names
+    counters = {e["name"] for e in trace["traceEvents"] if e["ph"] == "C"}
+    assert any("sfile.occupancy" in name for name in counters)
+
+    assert main(["trace", "validate", str(out)]) == 0
+    assert "ok" in capsys.readouterr().out
+
+
+def test_trace_export_default_output_path(trace_file, capsys):
+    assert main(["trace", "export", str(trace_file)]) == 0
+    derived = trace_file.with_name("run.trace.json")
+    assert derived.exists()
+
+
+def test_trace_export_missing_file_one_line_error(tmp_path, capsys):
+    assert main(["trace", "export", str(tmp_path / "nope.jsonl")]) == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error: cannot read trace")
+    assert "Traceback" not in err
+
+
+def test_trace_export_empty_trace_one_line_error(tmp_path, capsys):
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    assert main(["trace", "export", str(empty)]) == 1
+    err = capsys.readouterr().err
+    assert "contains no telemetry events" in err
+    assert "Traceback" not in err
+
+
+def test_trace_validate_rejects_bad_json(tmp_path, capsys):
+    bad = tmp_path / "bad.trace.json"
+    bad.write_text("{not json")
+    assert main(["trace", "validate", str(bad)]) == 1
+    assert "not valid JSON" in capsys.readouterr().err
+
+
+def test_trace_validate_rejects_malformed_trace(tmp_path, capsys):
+    bad = tmp_path / "bad.trace.json"
+    bad.write_text(json.dumps({"traceEvents": [{"ph": "Z"}]}))
+    assert main(["trace", "validate", str(bad)]) == 1
+    captured = capsys.readouterr()
+    assert "unknown phase" in captured.err
+    assert "INVALID" in captured.out
+
+
+def test_trace_without_subcommand_prints_help(capsys):
+    assert main(["trace"]) == 2
+    assert "export" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# repro stats --format json / --from-trace
+# ----------------------------------------------------------------------
+def test_stats_json_document(capsys):
+    payload = run_json(
+        capsys, ["stats", "bfs", "--policy", "FLC", "--scale", "0.25",
+                 "--format", "json"],
+    )
+    assert payload["benchmark"] == "bfs"
+    assert "FLC" in payload["policies"]
+    policy = payload["policies"]["FLC"]
+    assert {"edp_gain_percent", "fired", "skipped"} <= set(policy)
+    assert payload["hottest_spans"]
+    assert "slice_lengths" in payload["figures"]
+    assert any(
+        key.startswith("rcmp.outcomes{") for key in payload["metrics"]
+    )
+
+
+def test_stats_from_trace_summarises_without_rerun(trace_file, capsys):
+    assert main(["stats", "--from-trace", str(trace_file)]) == 0
+    out = capsys.readouterr().out
+    assert "span tree" in out
+    assert "hottest spans" in out
+    assert "evaluate" in out
+    assert "recomputation" in out and "FLC" in out
+
+
+def test_stats_from_trace_json(trace_file, capsys):
+    payload = run_json(
+        capsys, ["stats", "--from-trace", str(trace_file),
+                 "--format", "json"],
+    )
+    assert payload["events"] > 0
+    assert payload["skipped_lines"] == 0
+    assert "FLC" in payload["rcmp"]
+    assert payload["spans"] >= 1
+
+
+def test_stats_from_trace_missing_file_one_line_error(tmp_path, capsys):
+    assert main(["stats", "--from-trace", str(tmp_path / "gone.jsonl")]) == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error: cannot read trace")
+    assert "Traceback" not in err
+
+
+def test_stats_from_trace_empty_file_one_line_error(tmp_path, capsys):
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("\n")
+    assert main(["stats", "--from-trace", str(empty)]) == 1
+    assert "contains no telemetry events" in capsys.readouterr().err
+
+
+def test_stats_from_trace_warns_on_torn_line(trace_file, capsys):
+    torn = trace_file.read_text()[:-15]
+    trace_file.write_text(torn)
+    assert main(["stats", "--from-trace", str(trace_file)]) == 0
+    assert "skipped 1 undecodable line(s)" in capsys.readouterr().err
+
+
+def test_stats_requires_benchmark_or_trace(capsys):
+    assert main(["stats"]) == 2
+    assert "benchmark name" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# --timeline plumbing
+# ----------------------------------------------------------------------
+def test_timeline_flag_records_window_events(trace_file):
+    from repro.telemetry import read_events
+
+    events = read_events(str(trace_file))
+    windows = [e for e in events if e.get("type") == "timeline"]
+    assert windows, "--timeline must record window samples"
+    tracks = {e["track"] for e in windows}
+    assert any(track.startswith("amnesic#") for track in tracks)
+    assert any("sfile.occupancy" in (e.get("levels") or {}) for e in windows)

@@ -14,6 +14,7 @@ import pytest
 from repro.energy import EnergyModel
 from repro.energy.tech import paper_energy_model
 from repro.harness import (
+    ParallelEvaluationError,
     ResultCache,
     ResultKey,
     SuiteRunner,
@@ -23,6 +24,7 @@ from repro.harness import (
 )
 from repro.telemetry.registry import format_series
 from repro.telemetry.runtime import telemetry_session
+from repro.telemetry.sink import reconstruct_spans
 
 BENCHMARKS = ["bfs", "is"]
 SCALE = 0.25
@@ -143,6 +145,123 @@ def test_evaluate_many_preserves_unit_order():
     ]
     envelopes = evaluate_many(units, jobs=2)
     assert [envelope.benchmark for envelope in envelopes] == ["is", "bfs"]
+
+
+# ----------------------------------------------------------------------
+# Merge-back edge cases: worker failure and cross-process span nesting.
+# ----------------------------------------------------------------------
+DOOMED = "__doomed__"
+
+
+def _exit_on_doomed(unit):
+    """evaluate_unit wrapper simulating a hard worker death (OOM kill)."""
+    if unit.benchmark == DOOMED:
+        import os
+
+        os._exit(1)
+    return evaluate_unit(unit)
+
+
+def merged_counter_totals(envelopes):
+    """Expected parent counter totals from a set of envelope dumps."""
+    totals = {}
+    for envelope in envelopes:
+        for entry in envelope.metrics:
+            if entry["kind"] != "counter":
+                continue
+            name = format_series(
+                entry["name"], tuple(tuple(kv) for kv in entry["labels"])
+            )
+            totals[name] = totals.get(name, 0) + entry["value"]
+    return totals
+
+
+@pytest.mark.integration
+def test_unknown_benchmark_fails_batch_but_merges_survivors():
+    units = [
+        WorkUnit(benchmark="bfs", scale=SCALE, policies=("FLC",)),
+        WorkUnit(benchmark="no-such-benchmark", scale=SCALE),
+        WorkUnit(benchmark="is", scale=SCALE, policies=("FLC",)),
+    ]
+    with telemetry_session() as telemetry:
+        with pytest.raises(ParallelEvaluationError) as excinfo:
+            evaluate_many(units, jobs=2)
+        counters = counter_totals(telemetry.registry)
+    error = excinfo.value
+    assert [name for name, _ in error.failures] == ["no-such-benchmark"]
+    assert "no-such-benchmark" in str(error)
+    survivors = error.envelopes
+    assert [envelope.benchmark for envelope in survivors] == ["bfs", "is"]
+    # Survivors' telemetry merged exactly once: the parent counters are
+    # precisely the sum of the surviving dumps — nothing lost, nothing
+    # double-counted.
+    expected = merged_counter_totals(survivors)
+    for name, value in expected.items():
+        assert counters[name] == value, name
+
+
+@pytest.mark.integration
+def test_worker_death_mid_batch_keeps_completed_results(monkeypatch):
+    """A worker hard-killed mid-batch costs its units, not the batch.
+
+    Relies on the fork start method: the monkeypatched module function
+    is inherited by pool workers.  Which units complete before the pool
+    breaks is timing-dependent, so the assertions are written against
+    whatever survived rather than a fixed completion set.
+    """
+    import repro.harness.parallel as parallel_module
+
+    monkeypatch.setattr(parallel_module, "evaluate_unit", _exit_on_doomed)
+    units = [
+        WorkUnit(benchmark="bfs", scale=SCALE, policies=("FLC",)),
+        WorkUnit(benchmark=DOOMED, scale=SCALE),
+        WorkUnit(benchmark="is", scale=SCALE, policies=("FLC",)),
+    ]
+    with telemetry_session() as telemetry:
+        with pytest.raises(ParallelEvaluationError) as excinfo:
+            evaluate_many(units, jobs=2)
+        counters = counter_totals(telemetry.registry)
+    error = excinfo.value
+    failed = {name for name, _ in error.failures}
+    assert DOOMED in failed
+    survivors = error.envelopes
+    assert {envelope.benchmark for envelope in survivors} | failed == {
+        "bfs", DOOMED, "is"
+    }
+    assert all(e.benchmark != DOOMED for e in survivors)
+    expected = merged_counter_totals(survivors)
+    for name, value in expected.items():
+        assert counters[name] == value, name
+
+
+@pytest.mark.integration
+def test_merged_spans_nest_workers_under_parallel_span():
+    units = [
+        WorkUnit(benchmark=name, scale=SCALE, policies=("FLC",))
+        for name in ("bfs", "is")
+    ]
+    with telemetry_session(collect_events=True) as telemetry:
+        evaluate_many(units, jobs=2)
+        events = list(telemetry.sink.events)
+
+    span_ids = [e["span"] for e in events if e.get("type") == "span_open"]
+    assert len(span_ids) == len(set(span_ids)), "span ids must be unique"
+
+    (root,) = reconstruct_spans(events)
+    assert root.name == "suite.parallel"
+    children = [child.name for child in root.children]
+    assert children == ["suite.benchmark"] * len(units)
+    benchmarks = [child.span.attrs["benchmark"] for child in root.children]
+    assert sorted(benchmarks) == ["bfs", "is"]
+    # Worker-side nesting survives too: each benchmark span keeps its
+    # in-worker children (per-policy evaluation spans).
+    assert all(child.children for child in root.children)
+    workers = {
+        e.get("worker")
+        for e in events
+        if e.get("type") == "span_open" and e.get("worker") is not None
+    }
+    assert len(workers) >= 1  # merged events carry worker pids
 
 
 # ----------------------------------------------------------------------

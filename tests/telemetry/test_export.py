@@ -1,0 +1,182 @@
+"""Chrome trace_event export: clock alignment, emission, validation.
+
+Built around a synthetic two-worker trace whose processes have
+deliberately different ``perf_counter`` epochs — the exporter must use
+the ``clock_sync`` events to rebase worker timestamps onto the parent's
+timeline so worker spans land *inside* the parent span.
+"""
+
+import pytest
+
+from repro.telemetry.export import (
+    MAIN_TID,
+    export_chrome_trace,
+    trace_summary,
+    validate_chrome_trace,
+)
+
+PARENT_PID = 4000
+WORKER_A = 4001
+WORKER_B = 4002
+
+# The parent's perf epoch starts at 100 s, the workers' at ~5 s; wall
+# clocks agree (same machine).  offset_a = (1000.5-5.0)-(1000.0-100.0)
+# = 95.5, so a worker stamp t maps to t+95.5 on the parent timeline.
+SYNCS = [
+    {"type": "clock_sync", "perf": 100.0, "wall": 1000.0, "pid": PARENT_PID},
+    {"type": "clock_sync", "perf": 5.0, "wall": 1000.5, "pid": WORKER_A,
+     "worker": WORKER_A},
+    {"type": "clock_sync", "perf": 7.0, "wall": 1002.6, "pid": WORKER_B,
+     "worker": WORKER_B},
+]
+
+
+def span_pair(span, name, t_open, t_close, worker=None, parent=None):
+    base = {} if worker is None else {"worker": worker}
+    return [
+        {**base, "type": "span_open", "span": span, "parent": parent,
+         "name": name, "t": t_open, "attrs": {}},
+        {**base, "type": "span_close", "span": span, "t": t_close,
+         "status": "ok"},
+    ]
+
+
+@pytest.fixture
+def events():
+    items = list(SYNCS)
+    items += span_pair(1, "suite.parallel", 100.0, 101.0)
+    # Worker A: local 4.6..5.4 -> parent 100.1..100.9 (inside the span).
+    items += span_pair(2, "suite.benchmark", 4.6, 5.4, worker=WORKER_A,
+                       parent=1)
+    # Worker B: local 4.7..5.2, offset (1002.6-7.0)-900 = 95.6
+    # -> parent 100.3..100.8.
+    items += span_pair(3, "suite.benchmark", 4.7, 5.2, worker=WORKER_B,
+                       parent=1)
+    items.append({
+        "type": "timeline", "worker": WORKER_A, "track": "amnesic#0",
+        "t": 5.0, "start_instr": 0, "end_instr": 256,
+        "levels": {"sfile.occupancy": 3},
+        "deltas": {"instructions": 256},
+        "attrs": {"policy": "FLC"},
+    })
+    return items
+
+
+def x_events(trace):
+    return [e for e in trace["traceEvents"] if e["ph"] == "X"]
+
+
+def test_worker_spans_rebase_inside_parent_span(events):
+    trace = export_chrome_trace(events)
+    spans = {(e["tid"], e["name"]): e for e in x_events(trace)}
+    parent = spans[(MAIN_TID, "suite.parallel")]
+    a = spans[(WORKER_A, "suite.benchmark")]
+    b = spans[(WORKER_B, "suite.benchmark")]
+    for worker_span in (a, b):
+        assert worker_span["ts"] >= parent["ts"]
+        assert (worker_span["ts"] + worker_span["dur"]
+                <= parent["ts"] + parent["dur"])
+    # Alignment is exact, not merely contained: worker A opened 0.1 s
+    # after the parent (in wall time), i.e. 100 000 us into the trace.
+    assert a["ts"] == pytest.approx(100_000.0)
+    assert a["dur"] == pytest.approx(800_000.0)
+    assert b["ts"] == pytest.approx(300_000.0)
+
+
+def test_trace_starts_near_zero_and_uses_parent_pid(events):
+    trace = export_chrome_trace(events)
+    drawn = [e for e in trace["traceEvents"] if e["ph"] != "M"]
+    assert min(e["ts"] for e in drawn) == pytest.approx(0.0)
+    assert all(e["pid"] == PARENT_PID for e in trace["traceEvents"])
+
+
+def test_timeline_windows_become_counter_tracks(events):
+    trace = export_chrome_trace(events)
+    counters = [e for e in trace["traceEvents"] if e["ph"] == "C"]
+    by_name = {e["name"]: e for e in counters}
+    occ = by_name["amnesic#0 sfile.occupancy"]
+    assert occ["args"] == {"value": 3.0}
+    assert occ["tid"] == WORKER_A
+    assert "amnesic#0 instructions" in by_name
+
+
+def test_thread_metadata_names_main_and_workers(events):
+    trace = export_chrome_trace(events)
+    names = {
+        e["tid"]: e["args"]["name"]
+        for e in trace["traceEvents"]
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    }
+    assert names[MAIN_TID] == "main"
+    assert names[WORKER_A] == f"worker {WORKER_A}"
+    assert names[WORKER_B] == f"worker {WORKER_B}"
+
+
+def test_unclosed_span_survives_as_begin_event(events):
+    truncated = [e for e in events if not (
+        e.get("type") == "span_close" and e.get("span") == 2
+    )]
+    trace = export_chrome_trace(truncated)
+    begins = [e for e in trace["traceEvents"] if e["ph"] == "B"]
+    assert [e["name"] for e in begins] == ["suite.benchmark"]
+    assert begins[0]["tid"] == WORKER_A
+
+
+def test_no_sync_events_exports_raw_timestamps():
+    trace = export_chrome_trace(span_pair(1, "run", 2.0, 3.0))
+    [span] = x_events(trace)
+    assert span["ts"] == pytest.approx(0.0)
+    assert span["dur"] == pytest.approx(1e6)
+
+
+def test_exported_trace_validates_clean(events):
+    trace = export_chrome_trace(events)
+    assert validate_chrome_trace(trace) == []
+
+
+def test_summary_counts_phases_and_threads(events):
+    trace = export_chrome_trace(events)
+    summary = trace_summary(trace)
+    assert summary["by_phase"]["X"] == 3
+    assert summary["by_phase"]["C"] == 2
+    assert summary["threads"] == 3
+    assert summary["counter_tracks"] == 2
+
+
+@pytest.mark.parametrize(
+    "tamper, fragment",
+    [
+        (lambda t: t.__setitem__("traceEvents", None),
+         "must be an array"),
+        (lambda t: t["traceEvents"].append({"ph": "Z", "name": "x",
+                                            "pid": 1, "tid": 1, "ts": 0}),
+         "unknown phase"),
+        (lambda t: t["traceEvents"].append({"ph": "X", "name": "x",
+                                            "pid": 1, "tid": 1, "ts": 0,
+                                            "dur": -5}),
+         "negative duration"),
+        (lambda t: t["traceEvents"].append({"ph": "C", "name": "x",
+                                            "pid": 1, "tid": 1, "ts": 0,
+                                            "args": {"value": "NaNish"}}),
+         "non-numeric counter"),
+        (lambda t: t["traceEvents"].append({"ph": "X", "name": "x",
+                                            "pid": "one", "tid": 1,
+                                            "ts": 0, "dur": 1}),
+         "pid must be an integer"),
+    ],
+)
+def test_tampered_trace_fails_validation(events, tamper, fragment):
+    trace = export_chrome_trace(events)
+    tamper(trace)
+    problems = validate_chrome_trace(trace)
+    assert problems
+    assert any(fragment in problem for problem in problems)
+
+
+def test_validator_rejects_non_object_inputs():
+    assert validate_chrome_trace([]) == [
+        "trace must be a JSON object, got list"
+    ]
+    assert validate_chrome_trace({"traceEvents": []}) == [
+        "trace.traceEvents is empty"
+    ]

@@ -107,3 +107,70 @@ def test_list_sink_buffers_in_memory():
     _trace_into(sink)
     assert len(sink.events) == 7
     assert sink.events[0]["type"] == "span_open"
+
+
+def test_close_flushes_and_fsyncs(tmp_path, monkeypatch):
+    import os
+
+    synced = []
+    real_fsync = os.fsync
+    monkeypatch.setattr(
+        "repro.telemetry.sink.os.fsync",
+        lambda fd: (synced.append(fd), real_fsync(fd)),
+    )
+    path = tmp_path / "trace.jsonl"
+    with JsonlSink(str(path)) as sink:
+        sink.emit({"type": "x"})
+    assert synced, "close() must fsync before closing the stream"
+    assert len(read_events(str(path))) == 1
+
+
+def test_close_survives_unsyncable_stream():
+    import io
+
+    stream = io.StringIO()  # no fileno(); fsync must be skipped, not raised
+    sink = JsonlSink(stream)
+    sink.emit({"type": "x"})
+    sink.close()
+    assert stream.getvalue().count("\n") == 1
+
+
+def test_read_events_skips_torn_final_line(tmp_path):
+    import warnings
+
+    path = tmp_path / "trace.jsonl"
+    with JsonlSink(str(path)) as sink:
+        _trace_into(sink)
+    # Simulate a crash mid-write: chop the last line in half.
+    torn = path.read_text()[:-20]
+    path.write_text(torn)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        events = read_events(str(path))
+    assert len(events) == 6
+    assert events.skipped_lines == 1
+    assert any(
+        "skipping undecodable trace line" in str(w.message) for w in caught
+    )
+    # The surviving prefix still reconstructs (with the tail span open).
+    assert reconstruct_spans(events)
+
+
+def test_read_events_counts_non_object_lines(tmp_path):
+    import warnings
+
+    path = tmp_path / "trace.jsonl"
+    path.write_text('{"type": "x"}\n[1, 2]\nnot json at all\n')
+    with warnings.catch_warnings(record=True):
+        warnings.simplefilter("always")
+        events = read_events(str(path))
+    assert [event["type"] for event in events] == ["x"]
+    assert events.skipped_lines == 2
+
+
+def test_read_events_clean_trace_reports_zero_skips(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    with JsonlSink(str(path)) as sink:
+        _trace_into(sink)
+    events = read_events(str(path))
+    assert events.skipped_lines == 0
