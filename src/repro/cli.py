@@ -39,6 +39,7 @@ from typing import List, Optional
 
 from .analysis.tables import render_table
 from .compiler import compile_amnesic
+from .core.backend import BACKEND_NAMES
 from .core.policies import POLICY_NAMES
 from .energy.tech import paper_energy_model
 from .harness.experiments import EXPERIMENTS, run_experiment
@@ -122,6 +123,10 @@ def _add_runner_flags(command: argparse.ArgumentParser) -> None:
         "--no-result-cache", action="store_true", default=argparse.SUPPRESS,
         help="disable the persistent result cache even if configured",
     )
+    command.add_argument(
+        "--backend", choices=BACKEND_NAMES, default=argparse.SUPPRESS,
+        help="execution backend (default: $REPRO_BACKEND or classic)",
+    )
 
 
 def _runner_options(args) -> dict:
@@ -134,7 +139,12 @@ def _runner_options(args) -> dict:
         cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
     if getattr(args, "no_result_cache", False):
         cache_dir = None
-    return {"jobs": jobs, "cache_dir": cache_dir}
+    # backend=None lets SuiteRunner fall back to $REPRO_BACKEND.
+    return {
+        "jobs": jobs,
+        "cache_dir": cache_dir,
+        "backend": getattr(args, "backend", None),
+    }
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -168,6 +178,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--no-result-cache", action="store_true", default=False,
         help="disable the persistent result cache even if configured",
+    )
+    parser.add_argument(
+        "--backend", choices=BACKEND_NAMES, default=None,
+        help="execution backend (default: $REPRO_BACKEND or classic)",
     )
     sub = parser.add_subparsers(dest="command")
 
@@ -241,6 +255,11 @@ def build_parser() -> argparse.ArgumentParser:
     profile_cmd.add_argument(
         "--format", choices=("table", "json"), default="table",
         help="output format (json is stable for scripting)",
+    )
+    profile_cmd.add_argument(
+        "--backend", choices=BACKEND_NAMES, default=argparse.SUPPRESS,
+        help="execution backend (profiled dispatch always runs the "
+             "classic instrumented loop; this selects everything else)",
     )
     profile_cmd.set_defaults(handler=cmd_profile)
 
@@ -632,7 +651,13 @@ def cmd_profile(args) -> int:
     profiler = HotLoopProfiler(sample_every=sample_every)
     # Profiling measures *this* process's wall clock, so the run is
     # forced serial and uncached — a cache hit would profile nothing.
-    runner = SuiteRunner(scale=args.scale, jobs=1, cache_dir=None)
+    # The backend still flows through: the fast backend hands profiled
+    # runs to the classic instrumented loop (that's what the profiler
+    # measures), so attribution stays meaningful either way.
+    runner = SuiteRunner(
+        scale=args.scale, jobs=1, cache_dir=None,
+        backend=getattr(args, "backend", None),
+    )
     with telemetry_session(profiler=profiler) as session:
         if is_experiment:
             run_experiment(args.target, runner)

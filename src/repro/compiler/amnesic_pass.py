@@ -99,11 +99,15 @@ def compile_amnesic(
     model: EnergyModel,
     profile: Optional[ProfileResult] = None,
     options: PassOptions = PassOptions(),
+    backend: Optional[str] = None,
 ) -> CompilationResult:
     """Run the full amnesic pass over *program*.
 
     *profile* may be supplied to reuse an existing profiling run (e.g.
     when compiling the same program under several option sets).
+    *backend* names the execution backend for the profiling run when one
+    is needed; backends are trace-equivalent, so the compiled binary is
+    identical either way.
     """
     telemetry = get_telemetry()
     with telemetry.span(
@@ -113,7 +117,7 @@ def compile_amnesic(
         formation=options.formation,
     ) as compile_span:
         if profile is None:
-            profile = profile_program(program, model)
+            profile = profile_program(program, model, backend=backend)
         tracker = profile.dependence
         context = CostContext.from_trace(
             model, profile.loads, tracker, estimation=options.estimation

@@ -32,7 +32,7 @@ from ..isa.program import Program
 from ..machine.cpu import DEFAULT_MAX_INSTRUCTIONS, CPU
 from ..machine.stats import RunStats
 from ..telemetry.runtime import get_telemetry
-from .amnesic_cpu import AmnesicCPU
+from .backend import resolve_backend
 from .policies import POLICY_NAMES, Policy, make_policy
 
 
@@ -118,10 +118,12 @@ def run_classic(
     model: Optional[EnergyModel] = None,
     max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
     tracer=None,
+    backend: Optional[str] = None,
 ) -> ExecutionOutcome:
     """Execute *program* under classic semantics."""
     model = model or paper_energy_model()
-    cpu = CPU(program, model, tracer=tracer, max_instructions=max_instructions)
+    cpu_cls = resolve_backend(backend).cpu_cls
+    cpu = cpu_cls(program, model, tracer=tracer, max_instructions=max_instructions)
     stats = cpu.run()
     return ExecutionOutcome(label="classic", stats=stats, account=cpu.account, cpu=cpu)
 
@@ -133,13 +135,15 @@ def run_amnesic(
     max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
     verify: bool = True,
     tracer=None,
+    backend: Optional[str] = None,
     **cpu_kwargs,
 ) -> ExecutionOutcome:
     """Execute a compiled amnesic binary under *policy*."""
     model = model or paper_energy_model()
     if isinstance(policy, str):
         policy = make_policy(policy)
-    cpu = AmnesicCPU(
+    amnesic_cls = resolve_backend(backend).amnesic_cls
+    cpu = amnesic_cls(
         compilation.binary,
         model,
         policy,
@@ -161,19 +165,23 @@ def compare(
     options: PassOptions = PassOptions(),
     max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
     verify: bool = True,
+    backend: Optional[str] = None,
 ) -> PolicyComparison:
     """Compile *program* amnesically and compare against classic execution."""
     model = model or paper_energy_model()
     if policy == "Oracle":
         options = _oracle_options(options)
-    compilation = compile_amnesic(program, model, options=options)
-    classic = run_classic(program, model, max_instructions=max_instructions)
+    compilation = compile_amnesic(program, model, options=options, backend=backend)
+    classic = run_classic(
+        program, model, max_instructions=max_instructions, backend=backend
+    )
     amnesic = run_amnesic(
         compilation,
         policy,
         model,
         max_instructions=max_instructions,
         verify=verify,
+        backend=backend,
     )
     return PolicyComparison(
         policy=policy, classic=classic, amnesic=amnesic, compilation=compilation
@@ -200,6 +208,9 @@ class EvaluationSetup:
     classic: ExecutionOutcome
     probabilistic: CompilationResult
     all_valid: Optional[CompilationResult] = None
+    #: Backend name (plain data, so the setup still pickles); None means
+    #: "resolve from the environment at measure time".
+    backend: Optional[str] = None
 
     def compilation_for(self, policy: str) -> CompilationResult:
         """The binary a policy runs: all-valid for Oracle, else shared.
@@ -215,6 +226,7 @@ class EvaluationSetup:
                 self.model,
                 profile=self.probabilistic.profile,
                 options=_oracle_options(self.options),
+                backend=self.backend,
             )
         return self.all_valid
 
@@ -228,6 +240,7 @@ class EvaluationSetup:
                 self.model,
                 max_instructions=self.max_instructions,
                 verify=self.verify,
+                backend=self.backend,
             )
         return PolicyComparison(
             policy=policy, classic=self.classic, amnesic=amnesic,
@@ -241,14 +254,18 @@ def prepare_evaluation(
     options: PassOptions = PassOptions(),
     max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
     verify: bool = True,
+    backend: Optional[str] = None,
 ) -> EvaluationSetup:
     """Profile, compile, and run the classic baseline once."""
     model = model or paper_energy_model()
-    classic = run_classic(program, model, max_instructions=max_instructions)
+    classic = run_classic(
+        program, model, max_instructions=max_instructions, backend=backend
+    )
     probabilistic = compile_amnesic(
         program,
         model,
         options=dataclasses.replace(options, selection=SELECTION_PROBABILISTIC),
+        backend=backend,
     )
     return EvaluationSetup(
         program=program,
@@ -258,6 +275,7 @@ def prepare_evaluation(
         verify=verify,
         classic=classic,
         probabilistic=probabilistic,
+        backend=backend,
     )
 
 
@@ -268,6 +286,7 @@ def evaluate_policies(
     options: PassOptions = PassOptions(),
     max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
     verify: bool = True,
+    backend: Optional[str] = None,
 ) -> Dict[str, PolicyComparison]:
     """Measure every policy against the same classic baseline.
 
@@ -287,5 +306,6 @@ def evaluate_policies(
             options=options,
             max_instructions=max_instructions,
             verify=verify,
+            backend=backend,
         )
         return {name: setup.measure(name) for name in policies}

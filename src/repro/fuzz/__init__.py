@@ -11,6 +11,7 @@ from .generator import generate_specs, program_seed, random_spec
 from .oracle import (
     OracleFailure,
     OracleVerdict,
+    check_backend_equivalence,
     check_program,
     check_spec,
     default_fuzz_model,
@@ -54,6 +55,7 @@ __all__ = [
     "ShrinkResult",
     "SkipHistReadCPU",
     "Store",
+    "check_backend_equivalence",
     "check_program",
     "check_spec",
     "default_fuzz_model",

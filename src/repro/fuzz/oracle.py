@@ -381,6 +381,187 @@ def _check_account(
                 )
 
 
+def check_backend_equivalence(
+    program: Program,
+    spec: Optional[ProgramSpec] = None,
+    model: Optional[EnergyModel] = None,
+    policies: Sequence[str] = POLICY_NAMES,
+    max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+) -> OracleVerdict:
+    """Hold the fast backend to the classic interpreter, exactly.
+
+    The same differential idea as :func:`check_program`, but the pair
+    under test is the execution *backend* rather than the execution
+    *model*: the classic program and every per-policy amnesic run are
+    executed under both backends and compared on final registers, the
+    memory image, RunStats, hierarchy counters, the per-group energy
+    breakdown, and modeled time.  Unlike amnesic-vs-classic (where only
+    architectural state must match), the two backends run the *same*
+    semantics, so every comparison is exact — including float energy
+    totals, which the fast backend must accumulate in the classic charge
+    order.  Faults count too: a program that faults under classic must
+    fault under fast with the same exception type, message, and pc.
+
+    Failures carry kind ``"backend"``; the policy field is ``classic``
+    for the plain-interpreter comparison and the policy name for the
+    amnesic ones.
+    """
+    from ..core.backend import BACKENDS
+
+    model = model or default_fuzz_model()
+    verdict = OracleVerdict(
+        spec=spec,
+        policies=tuple(policies),
+        instruction_count=len(program.instructions),
+    )
+    fail = verdict.failures.append
+
+    def run_both(label: str, make_cpu) -> Optional[Tuple]:
+        """Run under both backends; report fault divergence; return CPUs."""
+        outcomes = []
+        for backend in (BACKENDS["classic"], BACKENDS["fast"]):
+            cpu = make_cpu(backend)
+            error = None
+            try:
+                cpu.run()
+            except ReproError as caught:
+                error = f"{type(caught).__name__}: {caught}"
+            outcomes.append((cpu, error))
+        (classic_cpu, classic_error), (fast_cpu, fast_error) = outcomes
+        if classic_error != fast_error:
+            fail(
+                OracleFailure(
+                    label,
+                    "backend",
+                    f"classic raised {classic_error!r}, "
+                    f"fast raised {fast_error!r}",
+                )
+            )
+            return None
+        return classic_cpu, fast_cpu, classic_error
+
+    def compare_state(label: str, classic_cpu, fast_cpu) -> None:
+        def exact(what: str, expected, actual) -> None:
+            if expected != actual:
+                fail(
+                    OracleFailure(
+                        label,
+                        "backend",
+                        f"{what} diverged: classic {expected!r}, "
+                        f"fast {actual!r}",
+                    )
+                )
+
+        exact("registers", classic_cpu.registers, fast_cpu.registers)
+        exact(
+            "memory", classic_cpu.memory.snapshot(), fast_cpu.memory.snapshot()
+        )
+        exact("pc", classic_cpu.pc, fast_cpu.pc)
+        exact(
+            "dynamic instructions",
+            classic_cpu.dynamic_count,
+            fast_cpu.dynamic_count,
+        )
+        exact(
+            "run stats",
+            dataclasses.asdict(classic_cpu.stats),
+            dataclasses.asdict(fast_cpu.stats),
+        )
+        exact(
+            "hierarchy stats",
+            dataclasses.asdict(classic_cpu.hierarchy.stats),
+            dataclasses.asdict(fast_cpu.hierarchy.stats),
+        )
+        for cache in ("l1", "l2"):
+            exact(
+                f"{cache} state",
+                getattr(classic_cpu.hierarchy, cache).observe(),
+                getattr(fast_cpu.hierarchy, cache).observe(),
+            )
+        exact(
+            "energy breakdown",
+            classic_cpu.account.breakdown(),
+            fast_cpu.account.breakdown(),
+        )
+        exact(
+            "modeled time",
+            classic_cpu.account.total_time_ns,
+            fast_cpu.account.total_time_ns,
+        )
+        if hasattr(classic_cpu, "hist"):
+            exact(
+                "fired slices",
+                sorted(classic_cpu.fired_slice_ids),
+                sorted(fast_cpu.fired_slice_ids),
+            )
+            for structure in ("hist", "sfile", "ibuff"):
+                exact(
+                    f"{structure} state",
+                    getattr(classic_cpu, structure).observe(),
+                    getattr(fast_cpu, structure).observe(),
+                )
+
+    # The plain-interpreter pair.
+    pair = run_both(
+        "classic",
+        lambda backend: backend.cpu_cls(
+            program, model, max_instructions=max_instructions
+        ),
+    )
+    if pair is not None:
+        classic_cpu, fast_cpu, classic_error = pair
+        compare_state("classic", classic_cpu, fast_cpu)
+        if classic_error is not None:
+            # Fault parity verified; the compiled comparisons below need
+            # a clean classic run to mean anything.
+            verdict.invalid = True
+            verdict.invalid_reason = f"classic: {classic_error}"
+            return verdict
+    else:
+        return verdict
+
+    # The amnesic pairs, one per policy, over the shared binaries.
+    try:
+        probabilistic = compile_amnesic(
+            program,
+            model,
+            options=PassOptions(selection=SELECTION_PROBABILISTIC),
+        )
+    except ReproError as error:
+        fail(OracleFailure("*", "compile", f"probabilistic compile: {error}"))
+        return verdict
+    verdict.slice_count = len(probabilistic.rslices)
+    all_valid: Optional[CompilationResult] = None
+    if "Oracle" in policies:
+        try:
+            all_valid = compile_amnesic(
+                program,
+                model,
+                profile=probabilistic.profile,
+                options=_oracle_options(PassOptions()),
+            )
+        except ReproError as error:
+            fail(OracleFailure("Oracle", "compile", f"all-valid compile: {error}"))
+
+    for policy_name in policies:
+        compilation = all_valid if policy_name == "Oracle" else probabilistic
+        if compilation is None:
+            continue
+        pair = run_both(
+            policy_name,
+            lambda backend: backend.amnesic_cls(
+                compilation.binary,
+                model,
+                make_policy(policy_name),
+                max_instructions=max_instructions,
+                verify=False,
+            ),
+        )
+        if pair is not None:
+            compare_state(policy_name, pair[0], pair[1])
+    return verdict
+
+
 def _check_budget(verdict: OracleVerdict, compilation: CompilationResult) -> None:
     """Every probabilistically selected slice must beat its load estimate."""
     for rslice in compilation.rslices:
@@ -400,6 +581,7 @@ __all__ = [
     "DEFAULT_MAX_INSTRUCTIONS",
     "OracleFailure",
     "OracleVerdict",
+    "check_backend_equivalence",
     "check_program",
     "check_spec",
     "default_fuzz_model",

@@ -43,21 +43,26 @@ class ResultKey:
     policies: Tuple[str, ...]
     model_fingerprint: str
     max_instructions: int
+    backend: str = "classic"
 
     def digest(self) -> str:
         """Stable hex digest used as the on-disk entry name."""
-        canonical = json.dumps(
-            {
-                "version": CACHE_FORMAT_VERSION,
-                "benchmark": self.benchmark,
-                "scale": repr(self.scale),
-                "policies": list(self.policies),
-                "model": self.model_fingerprint,
-                "max_instructions": self.max_instructions,
-            },
-            sort_keys=True,
-            separators=(",", ":"),
-        )
+        payload = {
+            "version": CACHE_FORMAT_VERSION,
+            "benchmark": self.benchmark,
+            "scale": repr(self.scale),
+            "policies": list(self.policies),
+            "model": self.model_fingerprint,
+            "max_instructions": self.max_instructions,
+        }
+        if self.backend != "classic":
+            # Omitted for the reference backend so entries cached before
+            # backends existed keep serving classic evaluations; any
+            # other backend gets its own namespace (and therefore always
+            # runs cold the first time, which is what the bench
+            # comparison wants).
+            payload["backend"] = self.backend
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 

@@ -76,6 +76,8 @@ class WorkUnit:
     policies: Tuple[str, ...] = POLICY_NAMES
     model: Optional[EnergyModel] = None
     max_instructions: int = DEFAULT_MAX_INSTRUCTIONS
+    #: Execution backend name; None resolves from the worker's env.
+    backend: Optional[str] = None
     capture_metrics: bool = True
     capture_events: bool = True
     #: Mirror of the parent session's timeline window: workers sample
@@ -123,6 +125,7 @@ def _evaluate(unit: WorkUnit) -> Dict[str, PolicyComparison]:
         policies=unit.policies,
         model=unit.model,
         max_instructions=unit.max_instructions,
+        backend=unit.backend,
     )
 
 

@@ -28,6 +28,7 @@ from __future__ import annotations
 import os
 from typing import Dict, Iterable, Optional, Sequence, Tuple
 
+from ..core.backend import resolve_backend
 from ..core.execution import PolicyComparison, evaluate_policies
 from ..core.policies import POLICY_NAMES
 from ..energy.model import EnergyModel
@@ -63,12 +64,16 @@ class SuiteRunner:
         jobs: int = 1,
         cache_dir: Optional[str] = None,
         max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+        backend: Optional[str] = None,
     ):
         self.model = model or paper_energy_model()
         self.scale = scale
         self.policies = tuple(policies)
         self.jobs = max(1, int(jobs))
         self.max_instructions = max_instructions
+        #: Resolved eagerly (explicit arg > $REPRO_BACKEND > classic) so
+        #: cache keys and worker units name the backend by value.
+        self.backend = resolve_backend(backend).name
         self.result_cache = ResultCache(cache_dir) if cache_dir else None
         self._cache: Dict[CacheKey, Dict[str, PolicyComparison]] = {}
         self._programs: Dict[Tuple[str, float], Program] = {}
@@ -90,6 +95,7 @@ class SuiteRunner:
             policies=self.policies,
             model_fingerprint=self.model.fingerprint(),
             max_instructions=self.max_instructions,
+            backend=self.backend,
         )
 
     def _lookup(self, key: CacheKey) -> Optional[Dict[str, PolicyComparison]]:
@@ -141,6 +147,7 @@ class SuiteRunner:
                 policies=self.policies,
                 model=self.model,
                 max_instructions=self.max_instructions,
+                backend=self.backend,
             )
         self._store(key, comparisons)
         return comparisons
@@ -175,6 +182,7 @@ class SuiteRunner:
                     policies=self.policies,
                     model=self.model,
                     max_instructions=self.max_instructions,
+                    backend=self.backend,
                 )
                 for name in misses
             ]
@@ -202,6 +210,7 @@ class SuiteRunner:
             "policies": list(self.policies),
             "model_fingerprint": self.model.fingerprint(),
             "max_instructions": self.max_instructions,
+            "backend": self.backend,
             "jobs": self.jobs,
             "result_cache": (
                 str(self.result_cache.directory)

@@ -11,6 +11,7 @@ from .config import (
     paper_geometry,
 )
 from .cpu import DEFAULT_MAX_INSTRUCTIONS, CPU
+from .fastpath import FastCPU, FastExecutionMixin
 from .hierarchy import Access, HierarchyStats, MemoryHierarchy
 from .memory import Memory
 from .stats import RunStats
@@ -23,6 +24,8 @@ __all__ = [
     "CacheStats",
     "DEFAULT_MAX_INSTRUCTIONS",
     "EvictedLine",
+    "FastCPU",
+    "FastExecutionMixin",
     "HierarchyStats",
     "LEVELS",
     "Level",

@@ -30,6 +30,7 @@ from ..isa.opcodes import Category, Opcode
 from ..isa.operands import Imm, Operand, Reg
 from ..isa.program import Program
 from ..isa.semantics import branch_taken, evaluate
+from ..telemetry.profiler import TAIL_KEY
 from ..telemetry.runtime import get_telemetry
 from ..trace.events import InstructionEvent
 from .hierarchy import MemoryHierarchy
@@ -72,6 +73,39 @@ class CPU:
         #: run start; None (one pointer check per retired instruction)
         #: whenever telemetry is off or no timeline was requested.
         self._timeline = None
+        #: Per-opcode dispatch table of bound handlers; building it here
+        #: binds subclass overrides (e.g. the amnesic opcodes).
+        self._dispatch = self._build_dispatch()
+
+    def _build_dispatch(self):
+        """Opcode -> bound handler, replacing an if/elif chain per dispatch."""
+        dispatch = {}
+        for opcode in Opcode:
+            category = opcode.category
+            if category.is_compute:
+                handler = self._execute_compute
+            elif opcode is Opcode.LD:
+                handler = self._execute_load
+            elif opcode is Opcode.ST:
+                handler = self._execute_store
+            elif category is Category.BRANCH:
+                handler = self._execute_branch
+            elif opcode is Opcode.JMP:
+                handler = self._execute_jmp
+            elif opcode is Opcode.JAL:
+                handler = self._execute_jal
+            elif opcode is Opcode.JR:
+                handler = self._execute_jr
+            elif opcode is Opcode.NOP:
+                handler = self._execute_nop
+            elif opcode is Opcode.HALT:
+                handler = self._execute_halt
+            elif category is Category.AMNESIC:
+                handler = self._execute_amnesic
+            else:  # pragma: no cover - the mapping above is exhaustive
+                continue
+            dispatch[opcode] = handler
+        return dispatch
 
     # ------------------------------------------------------------------
     # Operand plumbing.
@@ -140,11 +174,6 @@ class CPU:
     def _run_loop(self) -> None:
         """The plain dispatch loop (no profiler attached)."""
         while not self.halted:
-            if self._dynamic_index >= self.max_instructions:
-                raise ExecutionLimitExceeded(
-                    f"exceeded {self.max_instructions} dynamic instructions",
-                    pc=self.pc,
-                )
             self.step()
         self.finalize()
 
@@ -166,11 +195,7 @@ class CPU:
         last_e = account.total_energy_nj
         opcode_name = None
         while not self.halted:
-            if self._dynamic_index >= self.max_instructions:
-                raise ExecutionLimitExceeded(
-                    f"exceeded {self.max_instructions} dynamic instructions",
-                    pc=self.pc,
-                )
+            self._check_budget()
             try:
                 instruction = self.program.instruction_at(self.pc)
             except IndexError:
@@ -193,11 +218,15 @@ class CPU:
                 )
                 last_t, last_d, last_e = now, self._dynamic_index, energy
         if pending != stride and opcode_name is not None:
-            # Flush the partial tail so instruction/energy totals stay exact.
+            # Flush the partial tail so instruction/energy totals stay
+            # exact.  The window covers up to stride-1 *different*
+            # opcodes, so attributing it to the last dispatched one would
+            # skew per-opcode shares at large strides; it gets its own
+            # synthetic row instead.
             now = clock()
             energy = account.total_energy_nj
             profiler.record(
-                label, opcode_name, now - last_t,
+                label, TAIL_KEY, now - last_t,
                 self._dynamic_index - last_d, energy - last_e,
             )
             last_t, last_e = now, energy
@@ -208,8 +237,22 @@ class CPU:
             label, clock() - start, account.total_energy_nj - before
         )
 
+    def _check_budget(self) -> None:
+        """Raise once the dynamic-instruction budget is exhausted.
+
+        Shared by every dispatch loop *and* :meth:`step`, so
+        single-stepping callers and alternative backends enforce the same
+        livelock limit as ``run()``.
+        """
+        if self._dynamic_index >= self.max_instructions:
+            raise ExecutionLimitExceeded(
+                f"exceeded {self.max_instructions} dynamic instructions",
+                pc=self.pc,
+            )
+
     def step(self) -> None:
         """Execute one instruction at the current pc."""
+        self._check_budget()
         try:
             instruction = self.program.instruction_at(self.pc)
         except IndexError:
@@ -228,51 +271,49 @@ class CPU:
     # ------------------------------------------------------------------
     def execute(self, instruction: Instruction) -> None:
         """Execute *instruction*, advance pc, account, and trace."""
-        opcode = instruction.opcode
-        category = opcode.category
-        self.stats.count_instruction(category)
-
-        if category.is_compute:
-            self._execute_compute(instruction)
-        elif opcode is Opcode.LD:
-            self._execute_load(instruction)
-        elif opcode is Opcode.ST:
-            self._execute_store(instruction)
-        elif category is Category.BRANCH:
-            self._execute_branch(instruction)
-        elif opcode is Opcode.JMP:
-            self._emit(instruction)
-            self.account.charge(GROUP_NONMEM, self.model.compute_cost(Category.JUMP))
-            self.pc = self.program.pc_of(instruction.target)
-        elif opcode is Opcode.JAL:
-            # Call: store the return pc in the link register, then jump.
-            return_pc = self.pc + 1
-            self.write_register(instruction.dest, return_pc)
-            self._emit(instruction, result=return_pc)
-            self.account.charge(GROUP_NONMEM, self.model.compute_cost(Category.JUMP))
-            self.pc = self.program.pc_of(instruction.target)
-        elif opcode is Opcode.JR:
-            target = self.resolve(instruction.srcs[0])
-            if not isinstance(target, int) or not 0 <= target <= len(
-                self.program.instructions
-            ):
-                raise MachineFault(
-                    f"jump-register to invalid pc {target!r}", pc=self.pc
-                )
-            self._emit(instruction, operand_values=(target,))
-            self.account.charge(GROUP_NONMEM, self.model.compute_cost(Category.JUMP))
-            self.pc = target
-        elif opcode is Opcode.NOP:
-            self._emit(instruction)
-            self.account.charge(GROUP_NONMEM, self.model.compute_cost(Category.NOP))
-            self.pc += 1
-        elif opcode is Opcode.HALT:
-            self._emit(instruction)
-            self.halted = True
-        elif category is Category.AMNESIC:
-            self._execute_amnesic(instruction)
-        else:  # pragma: no cover - the dispatch above is exhaustive
+        self.stats.count_instruction(instruction.opcode.category)
+        handler = self._dispatch.get(instruction.opcode)
+        if handler is None:  # pragma: no cover - the table is exhaustive
             raise MachineFault(f"undecodable instruction {instruction}", pc=self.pc)
+        handler(instruction)
+
+    def _execute_jmp(self, instruction: Instruction) -> None:
+        self._emit(instruction)
+        self.account.charge(GROUP_NONMEM, self.model.compute_cost(Category.JUMP))
+        self.pc = self.program.pc_of(instruction.target)
+
+    def _execute_jal(self, instruction: Instruction) -> None:
+        # Call: store the return pc in the link register, then jump.
+        return_pc = self.pc + 1
+        self.write_register(instruction.dest, return_pc)
+        self._emit(instruction, result=return_pc)
+        self.account.charge(GROUP_NONMEM, self.model.compute_cost(Category.JUMP))
+        self.pc = self.program.pc_of(instruction.target)
+
+    def _execute_jr(self, instruction: Instruction) -> None:
+        target = self.resolve(instruction.srcs[0])
+        limit = len(self.program.instructions)
+        # target == limit is rejected *here*: letting it through would
+        # only die on the next fetch with a misleading "ran off the end"
+        # fault attributed to the wrong pc.
+        if not isinstance(target, int) or not 0 <= target < limit:
+            raise MachineFault(
+                f"jump-register {instruction} to invalid pc {target!r} "
+                f"(valid pcs are 0..{limit - 1})",
+                pc=self.pc,
+            )
+        self._emit(instruction, operand_values=(target,))
+        self.account.charge(GROUP_NONMEM, self.model.compute_cost(Category.JUMP))
+        self.pc = target
+
+    def _execute_nop(self, instruction: Instruction) -> None:
+        self._emit(instruction)
+        self.account.charge(GROUP_NONMEM, self.model.compute_cost(Category.NOP))
+        self.pc += 1
+
+    def _execute_halt(self, instruction: Instruction) -> None:
+        self._emit(instruction)
+        self.halted = True
 
     def _execute_compute(self, instruction: Instruction) -> None:
         values = tuple(self.resolve(src) for src in instruction.srcs)

@@ -1,0 +1,977 @@
+"""The fast execution backend: predecoded closures over classic semantics.
+
+:class:`FastExecutionMixin` replaces the classic fetch/decode/dispatch
+loop of :class:`~repro.machine.cpu.CPU` with a *predecoded* program: one
+closure per static instruction, specialized at decode time over
+
+* the opcode's evaluator / branch condition (no per-dispatch dict walk),
+* the operand kinds (register reads and immediates are resolved to
+  direct indexed reads — no ``isinstance`` chains per dynamic
+  instruction),
+* the branch/jump target pcs (label lookups happen once per static
+  instruction, not once per dynamic one),
+* the energy/latency costs (plain ``float`` pairs instead of a
+  :class:`~repro.energy.account.Cost` allocation per charge).
+
+Each closure executes one instruction *bit-identically* to the classic
+handler — same value semantics, same energy charges in the same order,
+same cache/LRU state transitions, same fault types, messages, and
+fault-time architectural state — and returns the next pc (or ``-1``
+after ``HALT``).  Straight-line regions therefore run with no
+per-instruction branch/halt checks: the hot loop is an array index, a
+call, and a budget compare.
+
+The semantics/timing/observability contract a backend must honour:
+
+* **Semantics** live in :mod:`repro.isa.semantics` and
+  :class:`~repro.machine.memory.Memory` — closures call the same
+  evaluator lambdas and read/write the same cell dict.
+* **Timing/energy** live in :class:`~repro.energy.account.EnergyAccount`
+  and :class:`~repro.machine.hierarchy.MemoryHierarchy` — closures
+  inline only the L1-hit fast path (the dominant case) and delegate
+  every miss to :meth:`MemoryHierarchy._service_miss`, the exact code
+  the classic walk runs, so hit/miss/eviction/write-back accounting
+  cannot diverge.
+* **Observability**: a run with a timeline attached falls back to the
+  classic loop (timelines sample mid-run state at instruction
+  granularity); a run under the hot-loop profiler uses the classic
+  profiled loop (the profiler measures the classic dispatch path); a
+  run with a tracer keeps the predecoded loop with *traced* closure
+  variants that construct the same
+  :class:`~repro.trace.events.InstructionEvent` the classic handler
+  would emit — same index, pc, operand values, result, address, level,
+  and branch outcome — so dependence/locality profiles built on the
+  event stream are identical.  The tracer is bound at decode time
+  (tracers are fixed at CPU construction), and opcodes without a traced
+  template (the amnesic control opcodes) thunk through the classic
+  handler, which emits via ``CPU._emit`` as before.
+
+Instruction counting (``RunStats.dynamic_instructions`` /
+``by_category``) is deferred to a per-pc hit-count array and flushed
+when the loop exits (including on faults, preserving the classic
+"count before execute" order); ``CPU._dynamic_index`` stays live
+because budgets, timelines, and event indices read it mid-run.
+"""
+
+from __future__ import annotations
+
+from ..energy.account import (
+    GROUP_AMNESIC,
+    GROUP_LOAD,
+    GROUP_NONMEM,
+    GROUP_STORE,
+)
+from ..errors import ExecutionLimitExceeded, MachineFault, MemoryFault
+from ..isa.opcodes import _OPCODE_CATEGORY, Category, Opcode
+from ..isa.operands import Imm, Reg
+from ..isa.semantics import _BRANCH_CONDITIONS, _EVALUATORS
+from ..trace.events import InstructionEvent
+from .config import Level
+from .cpu import CPU
+
+
+def _operand_box(registers, operand):
+    """Resolve an operand once: a (sequence, index) pair read per dispatch.
+
+    Registers read ``cpu.registers[index]``; immediates read a one-slot
+    constant tuple.  Both cost one indexed load, so every operand-kind
+    combination collapses into a single closure template.  Returns None
+    for operands that need the classic slow path (SReg/HistRef).
+    """
+    if isinstance(operand, Reg):
+        # r0 is never written (write_register discards), so reading the
+        # backing slot is equivalent to the classic hardwired zero.
+        return registers, operand.index
+    if isinstance(operand, Imm):
+        return (operand.value,), 0
+    return None
+
+
+class _ProgramDecoder:
+    """Builds the per-pc closure table for one CPU instance."""
+
+    def __init__(self, cpu: CPU):
+        self.cpu = cpu
+        self.program = cpu.program
+        self.registers = cpu.registers
+        self.stats = cpu.stats
+        self.account = cpu.account
+        self.energy = cpu.account._energy_by_group
+        self.cells = cpu.memory._cells
+        model = cpu.model
+        config = model.config
+        self.load_costs = {}
+        self.store_costs = {}
+        for level in Level:
+            self.load_costs[level] = (
+                config.load_energy_nj(level),
+                config.load_latency_ns(level),
+            )
+            params = config.params(level)
+            # Mirrors MemoryHierarchy.store: replace the read at the
+            # servicing level by a write there (same float operations,
+            # same order, so charges stay bit-identical).
+            store_energy = config.load_energy_nj(level)
+            store_energy += params.write_energy_nj - params.read_energy_nj
+            self.store_costs[level] = (store_energy, params.latency_ns)
+        self._compute_costs = {}
+        self.model = model
+
+    def compute_cost(self, category):
+        pair = self._compute_costs.get(category)
+        if pair is None:
+            cost = self.model.compute_cost(category)
+            pair = self._compute_costs[category] = (cost.energy_nj, cost.time_ns)
+        return pair
+
+    # ------------------------------------------------------------------
+    # Decode driver.
+    # ------------------------------------------------------------------
+    def decode(self):
+        """Return ``(fns, cats)``: per-pc closures + per-pc categories.
+
+        ``fns`` has one trailing sentinel entry (index ``len(program)``)
+        raising the classic "ran off the end" fault, so the hot loop
+        needs no bounds check; its category slot is ``None`` and its
+        hit count is never flushed into RunStats — the classic loop
+        faults on fetch *before* counting, and so do we.
+        """
+        cpu = self.cpu
+        tracer = cpu.tracer
+        fns = []
+        cats = []
+        for pc, instruction in enumerate(self.program.instructions):
+            cats.append(_OPCODE_CATEGORY[instruction.opcode])
+            fn = None
+            if instruction.opcode is Opcode.HALT:
+                fn = self._make_halt(pc, instruction)
+            elif tracer is None:
+                fn = self._make_specialized(pc, instruction)
+            else:
+                fn = self._make_traced(pc, instruction, tracer.on_instruction)
+            if fn is None:
+                fn = self._make_thunk(pc, instruction)
+            fns.append(fn)
+        fns.append(self._make_off_end(len(fns)))
+        cats.append(None)
+        return fns, cats
+
+    def _make_specialized(self, pc, instruction):
+        opcode = instruction.opcode
+        category = _OPCODE_CATEGORY[opcode]
+        if category.is_compute:
+            return self._make_compute(pc, instruction)
+        if opcode is Opcode.LD:
+            return self._make_load(pc, instruction)
+        if opcode is Opcode.ST:
+            return self._make_store(pc, instruction)
+        if category is Category.BRANCH:
+            return self._make_branch(pc, instruction)
+        if opcode is Opcode.JMP:
+            return self._make_jmp(pc, instruction)
+        if opcode is Opcode.JAL:
+            return self._make_jal(pc, instruction)
+        if opcode is Opcode.JR:
+            return self._make_jr(pc, instruction)
+        if opcode is Opcode.NOP:
+            return self._make_nop(pc, instruction)
+        if opcode is Opcode.REC:
+            return self._make_rec(pc, instruction)
+        return None
+
+    def _make_traced(self, pc, instruction, emit):
+        """Specialized closure that also emits the classic trace event.
+
+        Each traced template performs the same specialized work as its
+        untraced sibling and then constructs the exact
+        :class:`InstructionEvent` the classic handler would pass to the
+        tracer: operand values read once and reused, results/addresses/
+        service levels captured mid-execution, the event index taken
+        from the live ``_dynamic_index``.  Fault paths emit nothing,
+        matching classic handlers (which fault before ``_emit``).
+        """
+        opcode = instruction.opcode
+        category = _OPCODE_CATEGORY[opcode]
+        if category.is_compute:
+            return self._make_traced_compute(pc, instruction, emit)
+        if opcode is Opcode.LD:
+            return self._make_traced_load(pc, instruction, emit)
+        if opcode is Opcode.ST:
+            return self._make_traced_store(pc, instruction, emit)
+        if category is Category.BRANCH:
+            return self._make_traced_branch(pc, instruction, emit)
+        if opcode is Opcode.JMP:
+            return self._make_traced_jmp(pc, instruction, emit)
+        if opcode is Opcode.JAL:
+            return self._make_traced_jal(pc, instruction, emit)
+        if opcode is Opcode.JR:
+            return self._make_traced_jr(pc, instruction, emit)
+        if opcode is Opcode.NOP:
+            return self._make_traced_nop(pc, instruction, emit)
+        # Amnesic control opcodes and odd instructions thunk: the
+        # classic handler emits via CPU._emit.
+        return None
+
+    def _boxes(self, srcs):
+        boxes = []
+        for src in srcs:
+            box = _operand_box(self.registers, src)
+            if box is None:
+                return None
+            boxes.append(box)
+        return boxes
+
+    # ------------------------------------------------------------------
+    # Closure templates.  Each mirrors the classic handler line by line:
+    # same operation order, same fault points, same charges.
+    # ------------------------------------------------------------------
+    def _make_compute(self, pc, instruction):
+        evaluator = _EVALUATORS.get(instruction.opcode)
+        if evaluator is None or not isinstance(instruction.dest, Reg):
+            return None
+        boxes = self._boxes(instruction.srcs)
+        if boxes is None:
+            return None
+        energy_nj, time_ns = self.compute_cost(instruction.category)
+        regs = self.registers
+        energy = self.energy
+        account = self.account
+        cpu = self.cpu
+        dest = instruction.dest.index
+        nxt = pc + 1
+
+        if len(boxes) == 2:
+            (b0, i0), (b1, i1) = boxes
+
+            def f(
+                evaluator=evaluator, b0=b0, i0=i0, b1=b1, i1=i1, regs=regs,
+                dest=dest, energy=energy, account=account, cpu=cpu,
+                energy_nj=energy_nj, time_ns=time_ns, nxt=nxt, pc=pc,
+            ):
+                try:
+                    result = evaluator(b0[i0], b1[i1])
+                except MachineFault as fault:
+                    raise type(fault)(str(fault), pc=pc) from None
+                if dest:
+                    regs[dest] = result
+                energy[GROUP_NONMEM] += energy_nj
+                account._time_ns += time_ns
+                cpu._dynamic_index += 1
+                return nxt
+
+            return f
+
+        if len(boxes) == 1:
+            ((b0, i0),) = boxes
+
+            def f(
+                evaluator=evaluator, b0=b0, i0=i0, regs=regs, dest=dest,
+                energy=energy, account=account, cpu=cpu,
+                energy_nj=energy_nj, time_ns=time_ns, nxt=nxt, pc=pc,
+            ):
+                try:
+                    result = evaluator(b0[i0])
+                except MachineFault as fault:
+                    raise type(fault)(str(fault), pc=pc) from None
+                if dest:
+                    regs[dest] = result
+                energy[GROUP_NONMEM] += energy_nj
+                account._time_ns += time_ns
+                cpu._dynamic_index += 1
+                return nxt
+
+            return f
+
+        def f(
+            evaluator=evaluator, boxes=tuple(boxes), regs=regs, dest=dest,
+            energy=energy, account=account, cpu=cpu,
+            energy_nj=energy_nj, time_ns=time_ns, nxt=nxt, pc=pc,
+        ):
+            try:
+                result = evaluator(*[b[i] for b, i in boxes])
+            except MachineFault as fault:
+                raise type(fault)(str(fault), pc=pc) from None
+            if dest:
+                regs[dest] = result
+            energy[GROUP_NONMEM] += energy_nj
+            account._time_ns += time_ns
+            cpu._dynamic_index += 1
+            return nxt
+
+        return f
+
+    def _address_parts(self, base, offset):
+        box0 = _operand_box(self.registers, base)
+        box1 = _operand_box(self.registers, offset)
+        if box0 is None or box1 is None:
+            return None
+        return box0, box1
+
+    def _make_load(self, pc, instruction):
+        if not isinstance(instruction.dest, Reg):
+            return None
+        parts = self._address_parts(instruction.srcs[0], instruction.srcs[1])
+        if parts is None:
+            return None
+        (b0, i0), (b1, i1) = parts
+        cpu = self.cpu
+        hierarchy = cpu.hierarchy
+        l1 = hierarchy.l1
+
+        def f(
+            b0=b0, i0=i0, b1=b1, i1=i1, pc=pc, nxt=pc + 1,
+            cells=self.cells, regs=self.registers, dest=instruction.dest.index,
+            l1_sets=l1._sets, shift=l1._line_shift, nsets=l1.geometry.sets,
+            l1_stats=l1.stats, service_miss=hierarchy._service_miss,
+            loads_by_level=hierarchy.stats.loads_by_level, l1_level=Level.L1,
+            l1_cost=self.load_costs[Level.L1], load_costs=self.load_costs,
+            stats=self.stats, energy=self.energy, account=self.account, cpu=cpu,
+        ):
+            address = b0[i0] + b1[i1]
+            if isinstance(address, float):
+                if not address.is_integer():
+                    raise MachineFault(
+                        f"non-integer effective address {address}", pc=pc
+                    )
+                address = int(address)
+            try:
+                value = cells[address]
+            except KeyError:
+                raise MemoryFault(
+                    f"read of unmapped address {address:#x}"
+                ) from None
+            line = address >> shift
+            cache_set = l1_sets[line % nsets]
+            if line in cache_set:
+                l1_stats.hits += 1
+                cache_set.move_to_end(line)
+                loads_by_level[l1_level] += 1
+                energy_nj, time_ns = l1_cost
+            else:
+                l1_stats.misses += 1
+                level = service_miss(address, False)
+                loads_by_level[level] += 1
+                energy_nj, time_ns = load_costs[level]
+            energy[GROUP_LOAD] += energy_nj
+            account._time_ns += time_ns
+            stats.loads_performed += 1
+            if dest:
+                regs[dest] = value
+            cpu._dynamic_index += 1
+            return nxt
+
+        return f
+
+    def _make_store(self, pc, instruction):
+        value_box = _operand_box(self.registers, instruction.srcs[0])
+        parts = self._address_parts(instruction.srcs[1], instruction.srcs[2])
+        if value_box is None or parts is None:
+            return None
+        (b0, i0), (b1, i1) = parts
+        bv, iv = value_box
+        cpu = self.cpu
+        memory = cpu.memory
+        hierarchy = cpu.hierarchy
+        l1 = hierarchy.l1
+        # With no read-only ranges configured the classic check can
+        # never fire; drop it from the hot path entirely.
+        read_only = memory.is_read_only if memory._read_only else None
+
+        def f(
+            bv=bv, iv=iv, b0=b0, i0=i0, b1=b1, i1=i1, pc=pc, nxt=pc + 1,
+            cells=self.cells, read_only=read_only,
+            l1_sets=l1._sets, shift=l1._line_shift, nsets=l1.geometry.sets,
+            l1_stats=l1.stats, service_miss=hierarchy._service_miss,
+            stores_by_level=hierarchy.stats.stores_by_level, l1_level=Level.L1,
+            l1_cost=self.store_costs[Level.L1], store_costs=self.store_costs,
+            stats=self.stats, energy=self.energy, account=self.account, cpu=cpu,
+        ):
+            value = bv[iv]
+            address = b0[i0] + b1[i1]
+            if isinstance(address, float):
+                if not address.is_integer():
+                    raise MachineFault(
+                        f"non-integer effective address {address}", pc=pc
+                    )
+                address = int(address)
+            if read_only is not None and read_only(address):
+                raise MemoryFault(f"write to read-only address {address:#x}")
+            cells[address] = value
+            line = address >> shift
+            cache_set = l1_sets[line % nsets]
+            if line in cache_set:
+                l1_stats.hits += 1
+                cache_set[line] = True
+                cache_set.move_to_end(line)
+                stores_by_level[l1_level] += 1
+                energy_nj, time_ns = l1_cost
+            else:
+                l1_stats.misses += 1
+                level = service_miss(address, True)
+                stores_by_level[level] += 1
+                energy_nj, time_ns = store_costs[level]
+            energy[GROUP_STORE] += energy_nj
+            account._time_ns += time_ns
+            stats.stores_performed += 1
+            cpu._dynamic_index += 1
+            return nxt
+
+        return f
+
+    def _make_branch(self, pc, instruction):
+        condition = _BRANCH_CONDITIONS.get(instruction.opcode)
+        if condition is None:
+            return None
+        boxes = self._boxes(instruction.srcs)
+        if boxes is None or len(boxes) != 2:
+            return None
+        taken_pc = self._target_pc(instruction)
+        if taken_pc is None:
+            return None
+        (b0, i0), (b1, i1) = boxes
+        energy_nj, time_ns = self.compute_cost(Category.BRANCH)
+
+        def f(
+            condition=condition, b0=b0, i0=i0, b1=b1, i1=i1,
+            energy=self.energy, account=self.account, cpu=self.cpu,
+            stats=self.stats, energy_nj=energy_nj, time_ns=time_ns,
+            taken_pc=taken_pc, nxt=pc + 1,
+        ):
+            taken = condition(b0[i0], b1[i1])
+            energy[GROUP_NONMEM] += energy_nj
+            account._time_ns += time_ns
+            cpu._dynamic_index += 1
+            if taken:
+                stats.branches_taken += 1
+                return taken_pc
+            return nxt
+
+        return f
+
+    def _target_pc(self, instruction):
+        """Resolve the static jump/branch target, or None for the slow path.
+
+        An undefined label keeps the classic at-execution fault by
+        leaving the pc thunked.
+        """
+        target = self.program.labels.get(instruction.target)
+        return target
+
+    def _make_jmp(self, pc, instruction):
+        target_pc = self._target_pc(instruction)
+        if target_pc is None:
+            return None
+        energy_nj, time_ns = self.compute_cost(Category.JUMP)
+
+        def f(
+            energy=self.energy, account=self.account, cpu=self.cpu,
+            energy_nj=energy_nj, time_ns=time_ns, target_pc=target_pc,
+        ):
+            cpu._dynamic_index += 1
+            energy[GROUP_NONMEM] += energy_nj
+            account._time_ns += time_ns
+            return target_pc
+
+        return f
+
+    def _make_jal(self, pc, instruction):
+        target_pc = self._target_pc(instruction)
+        if target_pc is None or not isinstance(instruction.dest, Reg):
+            return None
+        energy_nj, time_ns = self.compute_cost(Category.JUMP)
+
+        def f(
+            regs=self.registers, dest=instruction.dest.index, return_pc=pc + 1,
+            energy=self.energy, account=self.account, cpu=self.cpu,
+            energy_nj=energy_nj, time_ns=time_ns, target_pc=target_pc,
+        ):
+            if dest:
+                regs[dest] = return_pc
+            cpu._dynamic_index += 1
+            energy[GROUP_NONMEM] += energy_nj
+            account._time_ns += time_ns
+            return target_pc
+
+        return f
+
+    def _make_jr(self, pc, instruction):
+        box = _operand_box(self.registers, instruction.srcs[0])
+        if box is None:
+            return None
+        b0, i0 = box
+        energy_nj, time_ns = self.compute_cost(Category.JUMP)
+        limit = len(self.program.instructions)
+
+        def f(
+            b0=b0, i0=i0, limit=limit, pc=pc, instruction=instruction,
+            energy=self.energy, account=self.account, cpu=self.cpu,
+            energy_nj=energy_nj, time_ns=time_ns,
+        ):
+            target = b0[i0]
+            if not isinstance(target, int) or not 0 <= target < limit:
+                raise MachineFault(
+                    f"jump-register {instruction} to invalid pc {target!r} "
+                    f"(valid pcs are 0..{limit - 1})",
+                    pc=pc,
+                )
+            cpu._dynamic_index += 1
+            energy[GROUP_NONMEM] += energy_nj
+            account._time_ns += time_ns
+            return target
+
+        return f
+
+    def _make_nop(self, pc, instruction):
+        energy_nj, time_ns = self.compute_cost(Category.NOP)
+
+        def f(
+            energy=self.energy, account=self.account, cpu=self.cpu,
+            energy_nj=energy_nj, time_ns=time_ns, nxt=pc + 1,
+        ):
+            cpu._dynamic_index += 1
+            energy[GROUP_NONMEM] += energy_nj
+            account._time_ns += time_ns
+            return nxt
+
+        return f
+
+    def _make_rec(self, pc, instruction):
+        """REC fast path, available only on amnesic machines."""
+        hist = getattr(self.cpu, "hist", None)
+        if hist is None:
+            return None
+        boxes = self._boxes(instruction.srcs)
+        if boxes is None:
+            return None
+        cost = self.model.rec_cost()
+
+        def f(
+            boxes=tuple(boxes), record=hist.record,
+            slice_id=instruction.slice_id, leaf_id=instruction.leaf_id,
+            stats=self.stats, energy=self.energy, account=self.account,
+            cpu=self.cpu, energy_nj=cost.energy_nj, time_ns=cost.time_ns,
+            nxt=pc + 1,
+        ):
+            values = tuple(b[i] for b, i in boxes)
+            record(slice_id, leaf_id, values)
+            stats.hist_writes += 1
+            energy[GROUP_AMNESIC] += energy_nj
+            account._time_ns += time_ns
+            cpu._dynamic_index += 1
+            return nxt
+
+        return f
+
+    # ------------------------------------------------------------------
+    # Traced closure templates.  Same specialized work as above, plus
+    # the classic handler's InstructionEvent, field for field.
+    # ------------------------------------------------------------------
+    def _make_traced_compute(self, pc, instruction, emit):
+        evaluator = _EVALUATORS.get(instruction.opcode)
+        if evaluator is None or not isinstance(instruction.dest, Reg):
+            return None
+        boxes = self._boxes(instruction.srcs)
+        if boxes is None:
+            return None
+        energy_nj, time_ns = self.compute_cost(instruction.category)
+        regs = self.registers
+        dest = instruction.dest.index
+        nxt = pc + 1
+
+        if len(boxes) == 2:
+            (b0, i0), (b1, i1) = boxes
+
+            def f(
+                evaluator=evaluator, b0=b0, i0=i0, b1=b1, i1=i1, regs=regs,
+                dest=dest, energy=self.energy, account=self.account,
+                cpu=self.cpu, energy_nj=energy_nj, time_ns=time_ns,
+                nxt=nxt, pc=pc, instruction=instruction, emit=emit,
+                Event=InstructionEvent,
+            ):
+                v0 = b0[i0]
+                v1 = b1[i1]
+                try:
+                    result = evaluator(v0, v1)
+                except MachineFault as fault:
+                    raise type(fault)(str(fault), pc=pc) from None
+                if dest:
+                    regs[dest] = result
+                energy[GROUP_NONMEM] += energy_nj
+                account._time_ns += time_ns
+                index = cpu._dynamic_index
+                cpu._dynamic_index = index + 1
+                emit(Event(index, pc, instruction, (v0, v1), result))
+                return nxt
+
+            return f
+
+        def f(
+            evaluator=evaluator, boxes=tuple(boxes), regs=regs, dest=dest,
+            energy=self.energy, account=self.account, cpu=self.cpu,
+            energy_nj=energy_nj, time_ns=time_ns, nxt=nxt, pc=pc,
+            instruction=instruction, emit=emit, Event=InstructionEvent,
+        ):
+            values = tuple(b[i] for b, i in boxes)
+            try:
+                result = evaluator(*values)
+            except MachineFault as fault:
+                raise type(fault)(str(fault), pc=pc) from None
+            if dest:
+                regs[dest] = result
+            energy[GROUP_NONMEM] += energy_nj
+            account._time_ns += time_ns
+            index = cpu._dynamic_index
+            cpu._dynamic_index = index + 1
+            emit(Event(index, pc, instruction, values, result))
+            return nxt
+
+        return f
+
+    def _make_traced_load(self, pc, instruction, emit):
+        if not isinstance(instruction.dest, Reg):
+            return None
+        parts = self._address_parts(instruction.srcs[0], instruction.srcs[1])
+        if parts is None:
+            return None
+        (b0, i0), (b1, i1) = parts
+        cpu = self.cpu
+        hierarchy = cpu.hierarchy
+        l1 = hierarchy.l1
+
+        def f(
+            b0=b0, i0=i0, b1=b1, i1=i1, pc=pc, nxt=pc + 1,
+            cells=self.cells, regs=self.registers, dest=instruction.dest.index,
+            l1_sets=l1._sets, shift=l1._line_shift, nsets=l1.geometry.sets,
+            l1_stats=l1.stats, service_miss=hierarchy._service_miss,
+            loads_by_level=hierarchy.stats.loads_by_level, l1_level=Level.L1,
+            l1_cost=self.load_costs[Level.L1], load_costs=self.load_costs,
+            stats=self.stats, energy=self.energy, account=self.account,
+            cpu=cpu, instruction=instruction, emit=emit,
+            Event=InstructionEvent,
+        ):
+            address = b0[i0] + b1[i1]
+            if isinstance(address, float):
+                if not address.is_integer():
+                    raise MachineFault(
+                        f"non-integer effective address {address}", pc=pc
+                    )
+                address = int(address)
+            try:
+                value = cells[address]
+            except KeyError:
+                raise MemoryFault(
+                    f"read of unmapped address {address:#x}"
+                ) from None
+            line = address >> shift
+            cache_set = l1_sets[line % nsets]
+            if line in cache_set:
+                l1_stats.hits += 1
+                cache_set.move_to_end(line)
+                loads_by_level[l1_level] += 1
+                level = l1_level
+                energy_nj, time_ns = l1_cost
+            else:
+                l1_stats.misses += 1
+                level = service_miss(address, False)
+                loads_by_level[level] += 1
+                energy_nj, time_ns = load_costs[level]
+            energy[GROUP_LOAD] += energy_nj
+            account._time_ns += time_ns
+            stats.loads_performed += 1
+            if dest:
+                regs[dest] = value
+            index = cpu._dynamic_index
+            cpu._dynamic_index = index + 1
+            emit(Event(index, pc, instruction, (), value, address, level))
+            return nxt
+
+        return f
+
+    def _make_traced_store(self, pc, instruction, emit):
+        value_box = _operand_box(self.registers, instruction.srcs[0])
+        parts = self._address_parts(instruction.srcs[1], instruction.srcs[2])
+        if value_box is None or parts is None:
+            return None
+        (b0, i0), (b1, i1) = parts
+        bv, iv = value_box
+        cpu = self.cpu
+        memory = cpu.memory
+        hierarchy = cpu.hierarchy
+        l1 = hierarchy.l1
+        read_only = memory.is_read_only if memory._read_only else None
+
+        def f(
+            bv=bv, iv=iv, b0=b0, i0=i0, b1=b1, i1=i1, pc=pc, nxt=pc + 1,
+            cells=self.cells, read_only=read_only,
+            l1_sets=l1._sets, shift=l1._line_shift, nsets=l1.geometry.sets,
+            l1_stats=l1.stats, service_miss=hierarchy._service_miss,
+            stores_by_level=hierarchy.stats.stores_by_level, l1_level=Level.L1,
+            l1_cost=self.store_costs[Level.L1], store_costs=self.store_costs,
+            stats=self.stats, energy=self.energy, account=self.account,
+            cpu=cpu, instruction=instruction, emit=emit,
+            Event=InstructionEvent,
+        ):
+            value = bv[iv]
+            address = b0[i0] + b1[i1]
+            if isinstance(address, float):
+                if not address.is_integer():
+                    raise MachineFault(
+                        f"non-integer effective address {address}", pc=pc
+                    )
+                address = int(address)
+            if read_only is not None and read_only(address):
+                raise MemoryFault(f"write to read-only address {address:#x}")
+            cells[address] = value
+            line = address >> shift
+            cache_set = l1_sets[line % nsets]
+            if line in cache_set:
+                l1_stats.hits += 1
+                cache_set[line] = True
+                cache_set.move_to_end(line)
+                stores_by_level[l1_level] += 1
+                level = l1_level
+                energy_nj, time_ns = l1_cost
+            else:
+                l1_stats.misses += 1
+                level = service_miss(address, True)
+                stores_by_level[level] += 1
+                energy_nj, time_ns = store_costs[level]
+            energy[GROUP_STORE] += energy_nj
+            account._time_ns += time_ns
+            stats.stores_performed += 1
+            index = cpu._dynamic_index
+            cpu._dynamic_index = index + 1
+            emit(Event(index, pc, instruction, (value,), None, address, level))
+            return nxt
+
+        return f
+
+    def _make_traced_branch(self, pc, instruction, emit):
+        condition = _BRANCH_CONDITIONS.get(instruction.opcode)
+        if condition is None:
+            return None
+        boxes = self._boxes(instruction.srcs)
+        if boxes is None or len(boxes) != 2:
+            return None
+        taken_pc = self._target_pc(instruction)
+        if taken_pc is None:
+            return None
+        (b0, i0), (b1, i1) = boxes
+        energy_nj, time_ns = self.compute_cost(Category.BRANCH)
+
+        def f(
+            condition=condition, b0=b0, i0=i0, b1=b1, i1=i1,
+            energy=self.energy, account=self.account, cpu=self.cpu,
+            stats=self.stats, energy_nj=energy_nj, time_ns=time_ns,
+            taken_pc=taken_pc, nxt=pc + 1, pc=pc, instruction=instruction,
+            emit=emit, Event=InstructionEvent,
+        ):
+            a = b0[i0]
+            b = b1[i1]
+            taken = condition(a, b)
+            energy[GROUP_NONMEM] += energy_nj
+            account._time_ns += time_ns
+            index = cpu._dynamic_index
+            cpu._dynamic_index = index + 1
+            emit(Event(index, pc, instruction, (a, b), None, None, None, taken))
+            if taken:
+                stats.branches_taken += 1
+                return taken_pc
+            return nxt
+
+        return f
+
+    def _make_traced_jmp(self, pc, instruction, emit):
+        target_pc = self._target_pc(instruction)
+        if target_pc is None:
+            return None
+        energy_nj, time_ns = self.compute_cost(Category.JUMP)
+
+        def f(
+            energy=self.energy, account=self.account, cpu=self.cpu,
+            energy_nj=energy_nj, time_ns=time_ns, target_pc=target_pc,
+            pc=pc, instruction=instruction, emit=emit, Event=InstructionEvent,
+        ):
+            index = cpu._dynamic_index
+            cpu._dynamic_index = index + 1
+            emit(Event(index, pc, instruction))
+            energy[GROUP_NONMEM] += energy_nj
+            account._time_ns += time_ns
+            return target_pc
+
+        return f
+
+    def _make_traced_jal(self, pc, instruction, emit):
+        target_pc = self._target_pc(instruction)
+        if target_pc is None or not isinstance(instruction.dest, Reg):
+            return None
+        energy_nj, time_ns = self.compute_cost(Category.JUMP)
+
+        def f(
+            regs=self.registers, dest=instruction.dest.index, return_pc=pc + 1,
+            energy=self.energy, account=self.account, cpu=self.cpu,
+            energy_nj=energy_nj, time_ns=time_ns, target_pc=target_pc,
+            pc=pc, instruction=instruction, emit=emit, Event=InstructionEvent,
+        ):
+            if dest:
+                regs[dest] = return_pc
+            index = cpu._dynamic_index
+            cpu._dynamic_index = index + 1
+            emit(Event(index, pc, instruction, (), return_pc))
+            energy[GROUP_NONMEM] += energy_nj
+            account._time_ns += time_ns
+            return target_pc
+
+        return f
+
+    def _make_traced_jr(self, pc, instruction, emit):
+        box = _operand_box(self.registers, instruction.srcs[0])
+        if box is None:
+            return None
+        b0, i0 = box
+        energy_nj, time_ns = self.compute_cost(Category.JUMP)
+        limit = len(self.program.instructions)
+
+        def f(
+            b0=b0, i0=i0, limit=limit, pc=pc, instruction=instruction,
+            energy=self.energy, account=self.account, cpu=self.cpu,
+            energy_nj=energy_nj, time_ns=time_ns, emit=emit,
+            Event=InstructionEvent,
+        ):
+            target = b0[i0]
+            if not isinstance(target, int) or not 0 <= target < limit:
+                raise MachineFault(
+                    f"jump-register {instruction} to invalid pc {target!r} "
+                    f"(valid pcs are 0..{limit - 1})",
+                    pc=pc,
+                )
+            index = cpu._dynamic_index
+            cpu._dynamic_index = index + 1
+            emit(Event(index, pc, instruction, (target,)))
+            energy[GROUP_NONMEM] += energy_nj
+            account._time_ns += time_ns
+            return target
+
+        return f
+
+    def _make_traced_nop(self, pc, instruction, emit):
+        energy_nj, time_ns = self.compute_cost(Category.NOP)
+
+        def f(
+            energy=self.energy, account=self.account, cpu=self.cpu,
+            energy_nj=energy_nj, time_ns=time_ns, nxt=pc + 1, pc=pc,
+            instruction=instruction, emit=emit, Event=InstructionEvent,
+        ):
+            index = cpu._dynamic_index
+            cpu._dynamic_index = index + 1
+            emit(Event(index, pc, instruction))
+            energy[GROUP_NONMEM] += energy_nj
+            account._time_ns += time_ns
+            return nxt
+
+        return f
+
+    def _make_halt(self, pc, instruction):
+        def f(cpu=self.cpu, pc=pc, instruction=instruction):
+            cpu.pc = pc
+            cpu._emit(instruction)
+            cpu.halted = True
+            return -1
+
+        return f
+
+    def _make_thunk(self, pc, instruction):
+        """Classic-handler fallback: exact semantics at dispatch-table speed.
+
+        Covers traced runs (identical event streams by construction),
+        the amnesic control opcodes, slice-region pcs, and any statically
+        odd instruction whose classic handler should fault at runtime.
+        """
+        handler = self.cpu._dispatch.get(instruction.opcode)
+        if handler is None:
+            def f(cpu=self.cpu, pc=pc, instruction=instruction):
+                cpu.pc = pc
+                raise MachineFault(
+                    f"undecodable instruction {instruction}", pc=pc
+                )
+
+            return f
+
+        def f(cpu=self.cpu, pc=pc, handler=handler, instruction=instruction):
+            cpu.pc = pc
+            handler(instruction)
+            return cpu.pc
+
+        return f
+
+    def _make_off_end(self, pc):
+        def f(pc=pc):
+            raise MachineFault("pc ran off the end of the program", pc=pc)
+
+        return f
+
+
+class FastExecutionMixin:
+    """Swap the classic per-instruction loop for the predecoded one.
+
+    Mix in ahead of :class:`CPU` (or a subclass).  Timeline and profiler
+    runs fall back to the classic loops — see the module docstring for
+    the full backend contract.
+    """
+
+    def _decoded(self):
+        cached = self.__dict__.get("_fast_decode")
+        if cached is None:
+            cached = self.__dict__["_fast_decode"] = _ProgramDecoder(self).decode()
+        return cached
+
+    def __getstate__(self):
+        # The decode cache is per-pc closures over this instance's hot
+        # state — unpicklable and meaningless in another process (the
+        # parallel engine ships finished CPUs back to the parent).  Drop
+        # it; _decoded() rebuilds on demand.
+        state = self.__dict__.copy()
+        state.pop("_fast_decode", None)
+        return state
+
+    def _run_loop(self) -> None:
+        if self._timeline is not None:
+            # Timelines capture mid-run state per retired instruction;
+            # the classic loop keeps that observability exact.
+            return super()._run_loop()
+        fns, cats = self._decoded()
+        counts = [0] * len(fns)
+        max_instructions = self.max_instructions
+        pc = self.pc
+        try:
+            if not self.halted:
+                while True:
+                    if self._dynamic_index >= max_instructions:
+                        raise ExecutionLimitExceeded(
+                            f"exceeded {max_instructions} dynamic instructions",
+                            pc=pc,
+                        )
+                    counts[pc] += 1
+                    pc = fns[pc]()
+                    if pc < 0:
+                        break
+        finally:
+            stats = self.stats
+            by_category = stats.by_category
+            flushed = 0
+            for index, hits in enumerate(counts):
+                if hits:
+                    category = cats[index]
+                    if category is not None:
+                        by_category[category] += hits
+                        flushed += hits
+            stats.dynamic_instructions += flushed
+            if pc >= 0:
+                # Keep the architectural pc observable exactly as the
+                # classic loop leaves it (fault pc, halt pc, budget pc).
+                self.pc = pc
+        self.finalize()
+
+
+class FastCPU(FastExecutionMixin, CPU):
+    """The fast backend for classic execution semantics."""

@@ -102,6 +102,15 @@ class MemoryHierarchy:
             if dirty:
                 self.l1.mark_dirty(address)
             return Level.L1
+        return self._service_miss(address, dirty)
+
+    def _service_miss(self, address: int, dirty: bool) -> Level:
+        """Continue the walk below an L1 miss (already counted by the caller).
+
+        Split out of :meth:`_walk_and_fill` so alternative execution
+        backends that inline the L1 hit check share the exact L2/MEM
+        walk, fill, and write-back accounting with the classic path.
+        """
         if self.l2.lookup(address):
             self._fill_l1(address, dirty)
             return Level.L2

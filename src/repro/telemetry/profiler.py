@@ -42,6 +42,13 @@ DEFAULT_SAMPLE_EVERY = 16
 #: Synthetic "opcode" rows for work outside the dispatch loop.
 FINALIZE_KEY = "(finalize)"
 
+#: Synthetic row for the partial final sampling window.  In sampling
+#: mode the tail spans up to ``sample_every - 1`` dispatches of *mixed*
+#: opcodes, so attributing it to whichever opcode happened to retire
+#: last would skew per-opcode shares at large strides; it still
+#: telescopes into the exact totals under this key.
+TAIL_KEY = "(tail)"
+
 
 @dataclasses.dataclass
 class ProfileRow:

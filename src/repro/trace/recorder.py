@@ -43,15 +43,25 @@ def profile_program(
     program: Program,
     model: "EnergyModel",
     max_instructions: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> ProfileResult:
-    """Run *program* classically with all profiling tracers attached."""
-    from ..machine.cpu import DEFAULT_MAX_INSTRUCTIONS, CPU
+    """Run *program* classically with all profiling tracers attached.
+
+    *backend* selects the execution backend for the profiling run (None
+    resolves from the environment).  Backends are trace-equivalent by
+    contract — the fast backend's traced closures emit the identical
+    event stream — so the profile, and everything compiled from it, is
+    the same whichever backend gathers it.
+    """
+    from ..core.backend import resolve_backend
+    from ..machine.cpu import DEFAULT_MAX_INSTRUCTIONS
     from ..telemetry.runtime import get_telemetry
 
     dependence = DependenceTracker()
     loads = LoadProfiler()
     locality = ValueLocalityTracker()
-    cpu = CPU(
+    cpu_cls = resolve_backend(backend).cpu_cls
+    cpu = cpu_cls(
         program,
         model,
         tracer=MultiTracer(dependence, loads, locality),

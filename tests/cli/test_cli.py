@@ -45,6 +45,20 @@ def test_run_single_policy(capsys):
     assert "Compiler" in out and "EDP gain" in out
 
 
+def test_run_fast_backend_matches_classic(capsys):
+    args = ["run", "bfs", "--policy", "Compiler", "--scale", "0.25"]
+    assert main(args + ["--backend", "fast"]) == 0
+    fast_out = capsys.readouterr().out
+    assert main(args) == 0
+    assert capsys.readouterr().out == fast_out
+
+
+def test_backend_flag_rejects_unknown_names(capsys):
+    with pytest.raises(SystemExit):
+        main(["run", "bfs", "--backend", "turbo"])
+    assert "invalid choice" in capsys.readouterr().err
+
+
 def test_run_unknown_benchmark(capsys):
     assert main(["run", "nope"]) == 1
     assert "unknown workload" in capsys.readouterr().err

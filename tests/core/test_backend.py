@@ -1,0 +1,82 @@
+"""Backend registry and selection order (arg > env > default)."""
+
+import pytest
+
+from repro.core.backend import (
+    BACKEND_NAMES,
+    BACKENDS,
+    DEFAULT_BACKEND,
+    ENV_BACKEND,
+    FastAmnesicCPU,
+    resolve_backend,
+)
+from repro.core.amnesic_cpu import AmnesicCPU
+from repro.machine import CPU, FastCPU
+
+
+def test_registry_names_both_backends():
+    assert BACKEND_NAMES == ("classic", "fast")
+    assert BACKENDS["classic"].cpu_cls is CPU
+    assert BACKENDS["classic"].amnesic_cls is AmnesicCPU
+    assert BACKENDS["fast"].cpu_cls is FastCPU
+    assert BACKENDS["fast"].amnesic_cls is FastAmnesicCPU
+
+
+def test_fast_classes_are_subclasses_of_the_reference_ones():
+    # The fast backend layers a loop over classic handlers; it must stay
+    # substitutable wherever the reference classes are expected.
+    assert issubclass(FastCPU, CPU)
+    assert issubclass(FastAmnesicCPU, AmnesicCPU)
+
+
+def test_explicit_name_wins(monkeypatch):
+    monkeypatch.setenv(ENV_BACKEND, "fast")
+    assert resolve_backend("classic").name == "classic"
+
+
+def test_env_fallback(monkeypatch):
+    monkeypatch.setenv(ENV_BACKEND, "fast")
+    assert resolve_backend().name == "fast"
+    monkeypatch.setenv(ENV_BACKEND, "")
+    assert resolve_backend().name == DEFAULT_BACKEND
+    monkeypatch.delenv(ENV_BACKEND)
+    assert resolve_backend().name == DEFAULT_BACKEND
+
+
+def test_unknown_backend_is_a_value_error(monkeypatch):
+    with pytest.raises(ValueError, match="unknown execution backend"):
+        resolve_backend("turbo")
+    monkeypatch.setenv(ENV_BACKEND, "turbo")
+    with pytest.raises(ValueError, match="turbo"):
+        resolve_backend()
+
+
+def test_runner_resolves_backend_eagerly(monkeypatch):
+    from repro.harness.runner import SuiteRunner
+
+    monkeypatch.setenv(ENV_BACKEND, "fast")
+    runner = SuiteRunner(jobs=1)
+    assert runner.backend == "fast"
+    assert runner.describe()["backend"] == "fast"
+    # Explicit argument still beats the environment.
+    assert SuiteRunner(jobs=1, backend="classic").backend == "classic"
+
+
+def test_backends_agree_on_a_suite_benchmark():
+    # End-to-end through the public evaluation API: same program, both
+    # backends, identical comparison numbers.
+    from repro.core.execution import run_classic
+    from repro.energy import paper_energy_model
+    from repro.workloads.suite import get
+
+    program = get("bfs").instantiate(0.25)
+    model = paper_energy_model()
+    classic = run_classic(program, model, backend="classic").cpu
+    fast = run_classic(program, model, backend="fast").cpu
+    assert classic.registers == fast.registers
+    assert classic.memory.snapshot() == fast.memory.snapshot()
+    assert classic.account.breakdown() == fast.account.breakdown()
+    assert classic.account.total_time_ns == fast.account.total_time_ns
+    assert (
+        classic.stats.dynamic_instructions == fast.stats.dynamic_instructions
+    )

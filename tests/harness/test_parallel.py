@@ -7,6 +7,7 @@ counter totals, and a warm on-disk cache must serve repeat runs without
 a single policy evaluation.
 """
 
+import dataclasses
 import pickle
 
 import pytest
@@ -302,6 +303,19 @@ def test_result_key_digest_tracks_model_fingerprint():
     assert base.digest() == make_key(fingerprint="aaaa").digest()
     assert base.digest() != make_key(fingerprint="bbbb").digest()
     assert base.digest() != make_key(benchmark="is").digest()
+
+
+def test_result_key_digest_is_backend_namespaced():
+    # "classic" must hash identically to a pre-backend key (same JSON
+    # payload), so warm caches from before the backend field existed
+    # keep serving classic results; any other backend gets its own
+    # namespace and therefore always runs cold the first time.
+    base = make_key()
+    assert base.backend == "classic"
+    assert base.digest() == dataclasses.replace(base, backend="classic").digest()
+    fast = dataclasses.replace(base, backend="fast")
+    assert fast.digest() != base.digest()
+    assert fast.digest() == dataclasses.replace(base, backend="fast").digest()
 
 
 def test_model_fingerprint_is_stable_by_value():

@@ -99,6 +99,51 @@ def test_amnesic_opcode_faults_on_classic_cpu():
         run_program(program)
 
 
+def test_jr_one_past_the_end_faults_at_the_jump():
+    # Regression: the bounds check used to accept target == len(program),
+    # deferring the failure to the next fetch as a misleading "ran off
+    # the end" fault.  The jump itself must be rejected, naming the JR.
+    b = ProgramBuilder()
+    t = b.reg("t")
+    b.li(t, 3)  # == len(instructions): one past the final HALT
+    b.ret(t)
+    b.halt()
+    program = b.build()
+    assert len(program.instructions) == 3
+    with pytest.raises(MachineFault, match="jump-register") as excinfo:
+        run_program(program)
+    assert excinfo.value.pc == 1  # the JR, not the fetch after it
+    assert "valid pcs are 0..2" in str(excinfo.value)
+
+
+def test_jr_to_the_last_valid_pc_still_works():
+    # The boundary fix must not over-reject: len - 1 stays legal.
+    b = ProgramBuilder()
+    t, x = b.regs("t", "x")
+    b.li(t, 3)  # pc of the final HALT
+    b.ret(t)
+    b.li(x, 99)  # skipped by the jump
+    b.halt()
+    program = b.build()
+    assert len(program.instructions) == 4
+    cpu = run_program(program)
+    assert cpu.halted
+    assert cpu.registers[x.index] == 0
+
+
+def test_step_enforces_the_instruction_budget():
+    # Regression: step() used to skip the dynamic-instruction budget, so
+    # direct single-stepping callers could livelock past max_instructions.
+    b = ProgramBuilder()
+    b.label("spin")
+    b.jmp("spin")
+    cpu = CPU(b.build(), make_model(), max_instructions=10)
+    with pytest.raises(ExecutionLimitExceeded):
+        for _ in range(1000):
+            cpu.step()
+    assert cpu.dynamic_count == 10
+
+
 def test_pc_off_the_end_faults():
     from repro.isa import Program, li as make_li
     program = Program()

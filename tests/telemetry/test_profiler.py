@@ -14,6 +14,7 @@ from repro.core import AmnesicCPU, make_policy
 from repro.machine import CPU
 from repro.telemetry.profiler import (
     FINALIZE_KEY,
+    TAIL_KEY,
     HotLoopProfiler,
     reconcile,
     render_profile,
@@ -77,6 +78,51 @@ def test_finalize_energy_is_attributed_explicitly(program, model):
     ):
         assert FINALIZE_KEY in rows
         assert rows[FINALIZE_KEY].instructions == 0
+
+
+def test_partial_tail_gets_its_own_row(program, model):
+    # Regression: the partial window left when the run ends between
+    # samples used to be attributed to whatever opcode happened to
+    # dispatch last, skewing per-opcode shares at large strides.  It now
+    # lands in a dedicated synthetic row.
+    stride = 7
+    profiler, [classic] = profiled_run(program, model, sample_every=stride)
+    remainder = classic.stats.dynamic_instructions % stride
+    assert remainder != 0, "pick a stride that leaves a partial tail"
+    rows = {row.opcode: row for row in profiler.rows()}
+    assert TAIL_KEY in rows
+    assert rows[TAIL_KEY].instructions == remainder
+    # The tail row is exactly what keeps totals reconciling.
+    result = reconcile(
+        profiler,
+        classic.stats.dynamic_instructions,
+        classic.account.total_energy_nj,
+    )
+    assert result["reconciled"], result
+    assert result["instructions_delta"] == 0
+
+
+def test_whole_run_shorter_than_stride_is_all_tail(program, model):
+    profiler, [classic] = profiled_run(program, model, sample_every=10**9)
+    rows = {row.opcode: row for row in profiler.rows()}
+    assert set(rows) <= {TAIL_KEY, FINALIZE_KEY}
+    assert rows[TAIL_KEY].instructions == classic.stats.dynamic_instructions
+    assert reconcile(
+        profiler,
+        classic.stats.dynamic_instructions,
+        classic.account.total_energy_nj,
+    )["reconciled"]
+
+
+def test_profile_cli_reconciliation_exits_zero_with_partial_tail(capsys):
+    # End-to-end: ``repro profile`` exits non-zero if reconciliation ever
+    # breaks, so a clean exit here proves the tail row keeps the books.
+    from repro.cli import main
+
+    assert main(["profile", "bfs", "--scale", "0.25",
+                 "--sample-every", "7"]) == 0
+    out = capsys.readouterr().out
+    assert "reconciliation vs RunStats: ok" in out
 
 
 def test_rows_are_ranked_by_wall_clock(program, model):
