@@ -11,12 +11,14 @@ silently.  See ``docs/observability.md`` ("Continuous benchmarking").
 
 from .artifact import (
     BENCH_SCHEMA_VERSION,
+    COMPATIBLE_SCHEMA_VERSIONS,
     BenchArtifact,
     BenchReport,
+    artifact_provenance,
     environment_fingerprint,
     timestamp,
 )
-from .collect import BENCH_DEFAULT_EXPERIMENTS, BenchRunner
+from .collect import BENCH_DEFAULT_EXPERIMENTS, BenchRunner, manifest_from_artifact
 from .compare import (
     DEFAULT_FIDELITY_NOISE_PP,
     DEFAULT_TIMING_NOISE,
@@ -43,6 +45,7 @@ __all__ = [
     "BenchDiff",
     "BenchReport",
     "BenchRunner",
+    "COMPATIBLE_SCHEMA_VERSIONS",
     "DEFAULT_FIDELITY_NOISE_PP",
     "DEFAULT_TIMING_NOISE",
     "FidelityMetric",
@@ -51,9 +54,11 @@ __all__ = [
     "ReferenceBound",
     "ReferenceSeries",
     "SCORED_EXPERIMENTS",
+    "artifact_provenance",
     "compare",
     "environment_fingerprint",
     "fidelity_metrics",
+    "manifest_from_artifact",
     "render_bench_diff",
     "render_bench_report",
     "timestamp",

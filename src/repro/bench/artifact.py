@@ -19,14 +19,21 @@ import json
 import os
 import pathlib
 import platform
-import subprocess
 import time
 from typing import Dict, List, Optional
 
+from ..telemetry.ledger import git_revision, provenance
 from .paper_reference import FidelityMetric
 
 #: Bump on any change to the artifact field layout or metric semantics.
-BENCH_SCHEMA_VERSION = 1
+#: Version 2 added the top-level ``provenance`` block (git revision,
+#: python, platform, backend); version-1 artifacts still load, with the
+#: block synthesised from their environment fingerprint, so committed
+#: baselines keep gating new runs across the bump.
+BENCH_SCHEMA_VERSION = 2
+
+#: Schema versions :meth:`BenchArtifact.from_json` accepts.
+COMPATIBLE_SCHEMA_VERSIONS = frozenset({1, BENCH_SCHEMA_VERSION})
 
 
 @dataclasses.dataclass
@@ -77,12 +84,18 @@ class BenchArtifact:
     created: str
     environment: Dict[str, object]
     reports: Dict[str, BenchReport]
+    #: Source/toolchain identity: git revision, python, platform,
+    #: backend.  Overlaps the environment fingerprint on purpose — the
+    #: block is the stable, minimal key two artifacts are matched on,
+    #: while ``environment`` carries the full runner configuration.
+    provenance: Dict[str, object] = dataclasses.field(default_factory=dict)
 
     def to_json(self) -> dict:
         return {
             "schema_version": self.schema_version,
             "created": self.created,
             "environment": self.environment,
+            "provenance": self.provenance,
             "reports": {
                 experiment_id: report.to_json()
                 for experiment_id, report in self.reports.items()
@@ -92,20 +105,33 @@ class BenchArtifact:
     @classmethod
     def from_json(cls, payload: dict) -> "BenchArtifact":
         version = payload.get("schema_version")
-        if version != BENCH_SCHEMA_VERSION:
+        if version not in COMPATIBLE_SCHEMA_VERSIONS:
             raise ValueError(
                 f"unsupported bench artifact schema {version!r} "
-                f"(this build reads version {BENCH_SCHEMA_VERSION}); "
+                f"(this build reads versions "
+                f"{sorted(COMPATIBLE_SCHEMA_VERSIONS)}); "
                 f"refresh the artifact with `repro bench`"
             )
+        environment = dict(payload.get("environment", {}))
+        artifact_provenance = dict(payload.get("provenance", {}))
+        if not artifact_provenance:
+            # A version-1 artifact: lift the fields out of the
+            # environment fingerprint so diffing code sees one shape.
+            artifact_provenance = {
+                "git_sha": environment.get("git_sha"),
+                "python": environment.get("python"),
+                "platform": environment.get("platform"),
+                "backend": environment.get("backend", "classic"),
+            }
         return cls(
             schema_version=version,
             created=payload.get("created", ""),
-            environment=dict(payload.get("environment", {})),
+            environment=environment,
             reports={
                 experiment_id: BenchReport.from_json(report)
                 for experiment_id, report in payload.get("reports", {}).items()
             },
+            provenance=artifact_provenance,
         )
 
     def write(self, path: os.PathLike | str) -> pathlib.Path:
@@ -120,30 +146,23 @@ class BenchArtifact:
         return cls.from_json(json.loads(pathlib.Path(path).read_text()))
 
 
-def _git_sha() -> Optional[str]:
-    """The checked-out commit, or ``None`` outside a git work tree."""
-    try:
-        proc = subprocess.run(
-            ["git", "rev-parse", "HEAD"],
-            capture_output=True, text=True, timeout=5,
-            cwd=pathlib.Path(__file__).resolve().parent,
-        )
-    except (OSError, subprocess.TimeoutExpired):
-        return None
-    sha = proc.stdout.strip()
-    return sha if proc.returncode == 0 and sha else None
-
-
 def environment_fingerprint(runner) -> Dict[str, object]:
     """What produced an artifact: interpreter, machine, runner config."""
     fingerprint: Dict[str, object] = {
         "python": platform.python_version(),
         "platform": platform.platform(),
         "cpu_count": os.cpu_count(),
-        "git_sha": _git_sha(),
+        "git_sha": git_revision(),
     }
     fingerprint.update(runner.describe())
     return fingerprint
+
+
+def artifact_provenance(runner) -> Dict[str, object]:
+    """The schema-2 provenance block for a fresh artifact."""
+    block = provenance()
+    block["backend"] = runner.describe().get("backend", "classic")
+    return block
 
 
 def timestamp() -> str:

@@ -36,10 +36,12 @@ from ..harness.experiments import EXPERIMENTS, run_experiment
 from ..harness.runner import SuiteRunner
 from ..telemetry.runtime import telemetry_session
 from ..telemetry.summary import cache_hit_rate, cache_stats, phase_totals
+from ..telemetry.ledger import RunManifest, fidelity_summary
 from .artifact import (
     BENCH_SCHEMA_VERSION,
     BenchArtifact,
     BenchReport,
+    artifact_provenance,
     environment_fingerprint,
     timestamp,
 )
@@ -80,6 +82,7 @@ class BenchRunner:
             created=timestamp(),
             environment=environment_fingerprint(self.runner),
             reports=reports,
+            provenance=artifact_provenance(self.runner),
         )
 
     def bench_one(self, experiment_id: str) -> BenchReport:
@@ -118,3 +121,44 @@ class BenchRunner:
             cache_hit_rate=cache_hit_rate(combined),
             fidelity=fidelity_metrics(report),
         )
+
+
+def manifest_from_artifact(
+    artifact: BenchArtifact, runner: SuiteRunner, command: str = "repro bench"
+) -> RunManifest:
+    """Collapse one bench artifact into a ledger :class:`RunManifest`.
+
+    Totals are summed over the artifact's per-experiment reports; the
+    fidelity summary pools every scored metric, so the drift watchdog
+    tracks the same population ``--fail-on-regression`` gates on.
+    """
+    reports = list(artifact.reports.values())
+    wall_s = sum(report.wall_s for report in reports)
+    instructions = sum(report.instructions for report in reports)
+    cache: Dict[str, Dict[str, int]] = {}
+    for report in reports:
+        for layer, counts in report.cache.items():
+            merged = cache.setdefault(layer, {})
+            for result, count in counts.items():
+                merged[result] = merged.get(result, 0) + count
+    config = runner.describe()
+    return RunManifest.new(
+        kind="bench",
+        command=command,
+        target=",".join(artifact.reports),
+        scale=float(config.get("scale", 1.0)),
+        backend=str(config.get("backend", "classic")),
+        policies=[str(name) for name in config.get("policies", [])],
+        model_fingerprint=config.get("model_fingerprint"),
+        wall_s=wall_s,
+        phases={
+            f"{experiment_id}.wall_s": report.wall_s
+            for experiment_id, report in artifact.reports.items()
+        },
+        instructions=instructions,
+        ips=instructions / wall_s if wall_s > 0 else 0.0,
+        fidelity=fidelity_summary(
+            [metric for report in reports for metric in report.fidelity]
+        ),
+        cache=cache,
+    )

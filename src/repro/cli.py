@@ -13,6 +13,11 @@ Usage (also available as ``python -m repro``)::
     repro profile fig4 [--scale 1.0] [--exact | --sample-every N]
     repro trace export run.jsonl -o run.trace.json
     repro trace validate run.trace.json
+    repro runs list [--kind bench] [--target fig4] [--limit 20]
+    repro runs show <run-id>
+    repro runs diff <run-a> <run-b>
+    repro runs check [--window 10] [--tolerance 0.10]
+    repro cache stats [--format json]
 
 Telemetry flags work globally and per-subcommand: ``--trace-out FILE``
 streams span and per-RCMP decision events as JSONL, ``--metrics`` prints
@@ -27,14 +32,22 @@ fans benchmark evaluations over N worker processes (default:
 results on disk (default: ``$REPRO_CACHE_DIR`` or off), and
 ``--no-result-cache`` disables the disk cache even when the environment
 configures one.
+
+Cross-run observability: ``--ledger-dir DIR`` (or ``$REPRO_LEDGER_DIR``)
+appends one schema-versioned manifest per ``run``/``stats``/
+``experiment``/``bench`` invocation to a persistent run ledger; the
+``repro runs`` family browses that history and ``repro runs check``
+gates the latest run against it (the drift watchdog).
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import os
 import sys
+import time
 from typing import List, Optional
 
 from .analysis.tables import render_table
@@ -45,6 +58,11 @@ from .energy.tech import paper_energy_model
 from .harness.experiments import EXPERIMENTS, run_experiment
 from .harness.parallel import default_jobs
 from .harness.runner import SuiteRunner
+from .telemetry.drift import (
+    DEFAULT_MIN_HISTORY,
+    DEFAULT_TOLERANCE,
+    DEFAULT_WINDOW,
+)
 from .telemetry.runtime import get_telemetry, telemetry_session
 from .telemetry.summary import render_metrics, render_summary
 from .workloads.suite import REGISTRY, get
@@ -127,6 +145,15 @@ def _add_runner_flags(command: argparse.ArgumentParser) -> None:
         "--backend", choices=BACKEND_NAMES, default=argparse.SUPPRESS,
         help="execution backend (default: $REPRO_BACKEND or classic)",
     )
+    _add_ledger_flag(command)
+
+
+def _add_ledger_flag(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--ledger-dir", metavar="DIR", default=argparse.SUPPRESS,
+        help="append run manifests to the ledger under DIR "
+             "(default: $REPRO_LEDGER_DIR or no ledger)",
+    )
 
 
 def _runner_options(args) -> dict:
@@ -139,12 +166,51 @@ def _runner_options(args) -> dict:
         cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
     if getattr(args, "no_result_cache", False):
         cache_dir = None
+    ledger_dir = getattr(args, "ledger_dir", None)
+    if ledger_dir is None:
+        ledger_dir = os.environ.get("REPRO_LEDGER_DIR") or None
     # backend=None lets SuiteRunner fall back to $REPRO_BACKEND.
     return {
         "jobs": jobs,
         "cache_dir": cache_dir,
         "backend": getattr(args, "backend", None),
+        "ledger_dir": ledger_dir,
     }
+
+
+def _ledger_session(runner):
+    """An enabled telemetry context when a manifest will be collected.
+
+    Manifests are assembled from the session registry and span tree, so
+    recording needs telemetry on: reuse the ambient session when
+    ``--trace-out``/``--metrics`` already opened one, otherwise open a
+    private one.  With no ledger configured this is a no-op context
+    yielding the ambient (possibly disabled) facade — the ledger stays
+    strictly opt-in.
+    """
+    ambient = get_telemetry()
+    if runner.ledger is None or ambient.enabled:
+        return contextlib.nullcontext(ambient)
+    return telemetry_session()
+
+
+def _record_run(
+    runner, kind, command, target, telemetry, wall_s, seed=None, fidelity=None
+) -> None:
+    """Append one manifest for a finished command (no-op without a ledger)."""
+    if runner.ledger is None:
+        return
+    from .telemetry.ledger import collect_manifest
+
+    manifest = collect_manifest(
+        kind, command, target, telemetry, wall_s,
+        runner_config=runner.describe(), seed=seed, fidelity=fidelity,
+    )
+    runner.record_manifest(manifest)
+    print(
+        f"ledger: recorded {kind} {manifest.run_id} in {runner.ledger.path}",
+        file=sys.stderr,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -182,6 +248,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--backend", choices=BACKEND_NAMES, default=None,
         help="execution backend (default: $REPRO_BACKEND or classic)",
+    )
+    parser.add_argument(
+        "--ledger-dir", metavar="DIR", default=None,
+        help="append run manifests to the ledger under DIR "
+             "(default: $REPRO_LEDGER_DIR or no ledger)",
     )
     sub = parser.add_subparsers(dest="command")
 
@@ -408,6 +479,113 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_telemetry_flags(fuzz_cmd)
     fuzz_cmd.set_defaults(handler=cmd_fuzz)
+
+    runs_cmd = sub.add_parser(
+        "runs", help="browse and gate the persistent run ledger"
+    )
+    runs_sub = runs_cmd.add_subparsers(dest="runs_command")
+    runs_cmd.set_defaults(handler=lambda args: (runs_cmd.print_help(), 2)[1])
+
+    runs_list = runs_sub.add_parser(
+        "list", help="table of recorded runs, most recent last"
+    )
+    _add_ledger_flag(runs_list)
+    runs_list.add_argument(
+        "--kind", default=None,
+        help="filter by entry kind (run/stats/experiment/bench)",
+    )
+    runs_list.add_argument(
+        "--target", default=None,
+        help="filter by benchmark/experiment target",
+    )
+    runs_list.add_argument(
+        "--backend", default=None, help="filter by execution backend"
+    )
+    runs_list.add_argument(
+        "--limit", type=int, default=20, metavar="N",
+        help="show only the most recent N runs (0 = all)",
+    )
+    runs_list.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (json is stable for scripting)",
+    )
+    runs_list.set_defaults(handler=cmd_runs_list)
+
+    runs_show = runs_sub.add_parser(
+        "show", help="every recorded field of one run"
+    )
+    _add_ledger_flag(runs_show)
+    runs_show.add_argument("run_id", help="run id (unique prefixes accepted)")
+    runs_show.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (json is stable for scripting)",
+    )
+    runs_show.set_defaults(handler=cmd_runs_show)
+
+    runs_diff = runs_sub.add_parser(
+        "diff", help="per-field deltas between two recorded runs"
+    )
+    _add_ledger_flag(runs_diff)
+    runs_diff.add_argument("run_a", help="baseline run id (prefix ok)")
+    runs_diff.add_argument("run_b", help="candidate run id (prefix ok)")
+    runs_diff.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (json is stable for scripting)",
+    )
+    runs_diff.set_defaults(handler=cmd_runs_diff)
+
+    runs_check = runs_sub.add_parser(
+        "check",
+        help="drift watchdog: gate the latest run against ledger history",
+    )
+    _add_ledger_flag(runs_check)
+    runs_check.add_argument(
+        "--kind", default=None, help="restrict the checked population"
+    )
+    runs_check.add_argument(
+        "--target", default=None, help="restrict the checked population"
+    )
+    runs_check.add_argument(
+        "--window", type=int, default=DEFAULT_WINDOW, metavar="N",
+        help="rolling window of comparable history (median baseline)",
+    )
+    runs_check.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE, metavar="FRAC",
+        help="relative drift allowed before a metric regresses "
+             "(0.10 = 10%%)",
+    )
+    runs_check.add_argument(
+        "--min-history", type=int, default=DEFAULT_MIN_HISTORY, metavar="N",
+        help="comparable runs required before a metric is gated",
+    )
+    runs_check.add_argument(
+        "--metric", action="append", choices=("ips", "wall_s", "fidelity"),
+        default=None,
+        help="watch only these metrics (repeatable; default: all)",
+    )
+    runs_check.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (json is stable for scripting)",
+    )
+    runs_check.set_defaults(handler=cmd_runs_check)
+
+    cache_cmd = sub.add_parser(
+        "cache", help="inspect the persistent result cache"
+    )
+    cache_sub = cache_cmd.add_subparsers(dest="cache_command")
+    cache_cmd.set_defaults(handler=lambda args: (cache_cmd.print_help(), 2)[1])
+    cache_stats_cmd = cache_sub.add_parser(
+        "stats", help="entry count, bytes on disk, and entry-age histogram"
+    )
+    cache_stats_cmd.add_argument(
+        "--cache-dir", metavar="DIR", default=argparse.SUPPRESS,
+        help="cache directory (default: $REPRO_CACHE_DIR)",
+    )
+    cache_stats_cmd.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (json is stable for scripting)",
+    )
+    cache_stats_cmd.set_defaults(handler=cmd_cache_stats)
     return parser
 
 
@@ -453,7 +631,13 @@ def cmd_run(args) -> int:
         model=paper_energy_model(), scale=args.scale, policies=policies,
         **_runner_options(args),
     )
-    results = runner.result(args.benchmark)
+    with _ledger_session(runner) as telemetry:
+        started = time.perf_counter()
+        results = runner.result(args.benchmark)
+        _record_run(
+            runner, "run", f"repro run {args.benchmark}", spec.name,
+            telemetry, time.perf_counter() - started,
+        )
     if args.format == "json":
         payload = {
             "benchmark": spec.name,
@@ -478,7 +662,13 @@ def cmd_run(args) -> int:
 
 def _stats_json_payload(spec, args, results, telemetry) -> dict:
     """The ``repro stats --format json`` document for a live run."""
-    from .telemetry.summary import cache_stats, hottest_spans, rcmp_breakdown
+    from .telemetry.summary import (
+        cache_io_stats,
+        cache_stats,
+        hottest_spans,
+        pool_stats,
+        rcmp_breakdown,
+    )
     from .telemetry.views import figure_observables
 
     events = getattr(telemetry.sink, "events", []) or []
@@ -504,6 +694,8 @@ def _stats_json_payload(spec, args, results, telemetry) -> dict:
         ],
         "rcmp": rcmp_breakdown(telemetry.registry),
         "caches": cache_stats(telemetry.registry),
+        "cache_io": cache_io_stats(telemetry.registry),
+        "pool": pool_stats(telemetry.registry),
         "figures": figure_observables(events, telemetry.timelines),
         "metrics": telemetry.registry.snapshot(),
     }
@@ -594,7 +786,12 @@ def cmd_stats(args) -> int:
     )
 
     def evaluate_and_summarise(telemetry) -> int:
+        started = time.perf_counter()
         results = runner.result(args.benchmark)
+        _record_run(
+            runner, "stats", f"repro stats {args.benchmark}", spec.name,
+            telemetry, time.perf_counter() - started,
+        )
         if args.format == "json":
             print(
                 json.dumps(
@@ -815,7 +1012,13 @@ def cmd_disasm(args) -> int:
 
 def cmd_experiment(args) -> int:
     runner = SuiteRunner(scale=args.scale, **_runner_options(args))
-    report = run_experiment(args.experiment_id, runner)
+    with _ledger_session(runner) as telemetry:
+        started = time.perf_counter()
+        report = run_experiment(args.experiment_id, runner)
+        _record_run(
+            runner, "experiment", f"repro experiment {args.experiment_id}",
+            args.experiment_id, telemetry, time.perf_counter() - started,
+        )
     if getattr(args, "format", "text") == "json":
         from .harness.experiments import report_payload
 
@@ -854,6 +1057,17 @@ def cmd_bench(args) -> int:
         out = args.out or f"BENCH_{timestamp()}.json"
         path = artifact.write(out)
         print(f"bench artifact written to {path}", file=sys.stderr)
+        if runner.ledger is not None:
+            from .bench import manifest_from_artifact
+
+            manifest = runner.record_manifest(
+                manifest_from_artifact(artifact, runner)
+            )
+            print(
+                f"ledger: recorded bench {manifest.run_id} "
+                f"in {runner.ledger.path}",
+                file=sys.stderr,
+            )
         if args.format != "json":
             print(render_bench_report(artifact))
 
@@ -971,6 +1185,165 @@ def cmd_experiments(args) -> int:
     for experiment_id, fn in EXPERIMENTS.items():
         doc = (fn.__doc__ or "").strip().splitlines()[0]
         print(f"{experiment_id:8s} {doc}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Run-ledger commands.
+# ----------------------------------------------------------------------
+def _require_ledger(args):
+    """The ledger from ``--ledger-dir``/env, or ``None`` (with an error)."""
+    from .telemetry.ledger import ledger_from_env
+
+    ledger = ledger_from_env(getattr(args, "ledger_dir", None))
+    if ledger is None:
+        print(
+            "error: no run ledger configured "
+            "(pass --ledger-dir DIR or set $REPRO_LEDGER_DIR)",
+            file=sys.stderr,
+        )
+    return ledger
+
+
+def _warn_skipped(result) -> None:
+    if result.skipped_lines:
+        print(
+            f"warning: skipped {result.skipped_lines} undecodable ledger "
+            f"line(s) (writer killed mid-append?)",
+            file=sys.stderr,
+        )
+
+
+def cmd_runs_list(args) -> int:
+    """Filterable table of every recorded run, most recent last."""
+    ledger = _require_ledger(args)
+    if ledger is None:
+        return 2
+    result = ledger.select(
+        kind=args.kind, target=args.target, backend=args.backend
+    )
+    _warn_skipped(result)
+    manifests = list(result)
+    if args.limit and args.limit > 0:
+        manifests = manifests[-args.limit:]
+    if args.format == "json":
+        print(json.dumps([m.to_json() for m in manifests], indent=2))
+        return 0
+    if not manifests:
+        print(f"(no matching runs in {ledger.path})")
+        return 0
+    rows = []
+    for manifest in manifests:
+        fidelity = (
+            "-" if not manifest.fidelity
+            else f"{manifest.fidelity.get('score', 0):.2f}"
+        )
+        rows.append([
+            manifest.run_id, manifest.kind, manifest.target,
+            manifest.backend, f"{manifest.scale:g}",
+            f"{manifest.wall_s:.2f}", f"{manifest.ips:,.0f}", fidelity,
+        ])
+    print(render_table(
+        ["run id", "kind", "target", "backend", "scale", "wall s", "ips",
+         "fidelity"],
+        rows,
+        title=f"{len(manifests)} of {len(result)} run(s) in {ledger.path}",
+    ))
+    return 0
+
+
+def cmd_runs_show(args) -> int:
+    """Every recorded field of one run (prefix lookup allowed)."""
+    ledger = _require_ledger(args)
+    if ledger is None:
+        return 2
+    from .telemetry.ledger import render_manifest
+
+    try:
+        manifest = ledger.get(args.run_id)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 1
+    if args.format == "json":
+        print(json.dumps(manifest.to_json(), indent=2))
+        return 0
+    print(render_manifest(manifest))
+    return 0
+
+
+def cmd_runs_diff(args) -> int:
+    """Per-field deltas between two recorded runs."""
+    ledger = _require_ledger(args)
+    if ledger is None:
+        return 2
+    from .telemetry.ledger import diff_manifests, render_manifest_diff
+
+    try:
+        manifest_a = ledger.get(args.run_a)
+        manifest_b = ledger.get(args.run_b)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 1
+    diff = diff_manifests(manifest_a, manifest_b)
+    if args.format == "json":
+        print(json.dumps(diff, indent=2))
+        return 0
+    print(render_manifest_diff(diff))
+    return 0
+
+
+def cmd_runs_check(args) -> int:
+    """Drift watchdog: exit non-zero when the latest run regressed."""
+    ledger = _require_ledger(args)
+    if ledger is None:
+        return 2
+    from .telemetry.drift import check_drift, render_drift_report
+
+    result = ledger.select(kind=args.kind, target=args.target)
+    _warn_skipped(result)
+    try:
+        report = check_drift(
+            result,
+            window=args.window,
+            tolerance=args.tolerance,
+            min_history=args.min_history,
+            metrics=args.metric or None,
+        )
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(render_drift_report(report))
+    return 0 if report.ok else 1
+
+
+def cmd_cache_stats(args) -> int:
+    """Operational snapshot of the persistent result cache."""
+    from .harness.cache import cache_from_env
+
+    cache = cache_from_env(getattr(args, "cache_dir", None))
+    if cache is None:
+        print(
+            "error: no result cache configured "
+            "(pass --cache-dir DIR or set $REPRO_CACHE_DIR)",
+            file=sys.stderr,
+        )
+        return 2
+    stats = cache.stats()
+    if args.format == "json":
+        print(json.dumps(stats, indent=2))
+        return 0
+    print(f"result cache {stats['directory']}:")
+    print(f"  entries      {stats['entries']}")
+    print(f"  total bytes  {stats['total_bytes']:,}")
+    if stats["entries"]:
+        print(f"  newest age   {stats['newest_age_s']:.0f}s")
+        print(f"  oldest age   {stats['oldest_age_s']:.0f}s")
+        print("  age histogram:")
+        for label, count in stats["age_histogram"].items():
+            print(f"    {label:<6} {count}")
     return 0
 
 

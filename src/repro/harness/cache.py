@@ -25,10 +25,20 @@ import os
 import pathlib
 import pickle
 import tempfile
+import time
 import zlib
-from typing import Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from ..telemetry.runtime import get_telemetry
+
+#: Age-histogram bucket upper bounds (seconds) for :meth:`ResultCache.stats`.
+AGE_BUCKETS = (
+    ("<1m", 60.0),
+    ("<1h", 3600.0),
+    ("<1d", 86400.0),
+    ("<7d", 7 * 86400.0),
+    ("older", float("inf")),
+)
 
 #: Bump to orphan every existing entry when the result layout changes.
 CACHE_FORMAT_VERSION = 1
@@ -85,18 +95,21 @@ class ResultCache:
             result = pickle.loads(zlib.decompress(blob))
         except FileNotFoundError:
             telemetry.counter("suite.result_cache", result="miss").inc()
+            telemetry.counter("cache.misses").inc()
             return None
         except (OSError, zlib.error, pickle.UnpicklingError, EOFError,
                 AttributeError, ImportError, IndexError):
             # A torn, corrupt, or stale-format entry is a miss; drop it
             # so the rewritten entry is clean.
             telemetry.counter("suite.result_cache", result="corrupt").inc()
+            telemetry.counter("cache.corrupt_misses").inc()
             try:
                 path.unlink()
             except OSError:
                 pass
             return None
         telemetry.counter("suite.result_cache", result="hit").inc()
+        telemetry.counter("cache.hits").inc()
         return result
 
     def put(self, key: ResultKey, value) -> None:
@@ -117,7 +130,9 @@ class ResultCache:
             except OSError:
                 pass
             raise
-        get_telemetry().counter("suite.result_cache", result="store").inc()
+        telemetry = get_telemetry()
+        telemetry.counter("suite.result_cache", result="store").inc()
+        telemetry.counter("cache.bytes_written").inc(len(blob))
 
     # ------------------------------------------------------------------
     # Maintenance.
@@ -136,6 +151,42 @@ class ResultCache:
             except OSError:
                 pass
         return removed
+
+    def stats(self, now: Optional[float] = None) -> Dict[str, object]:
+        """Operational snapshot: entry count, bytes on disk, age shape.
+
+        ``repro cache stats`` renders this; entries racing a concurrent
+        writer's unlink are simply skipped (the snapshot is advisory,
+        not transactional).
+        """
+        now = time.time() if now is None else now
+        entries = 0
+        total_bytes = 0
+        oldest: Optional[float] = None
+        newest: Optional[float] = None
+        ages = {label: 0 for label, _ in AGE_BUCKETS}
+        for path in self.entries():
+            try:
+                info = path.stat()
+            except OSError:
+                continue
+            entries += 1
+            total_bytes += info.st_size
+            age = max(0.0, now - info.st_mtime)
+            oldest = age if oldest is None else max(oldest, age)
+            newest = age if newest is None else min(newest, age)
+            for label, bound in AGE_BUCKETS:
+                if age < bound:
+                    ages[label] += 1
+                    break
+        return {
+            "directory": str(self.directory),
+            "entries": entries,
+            "total_bytes": total_bytes,
+            "oldest_age_s": oldest,
+            "newest_age_s": newest,
+            "age_histogram": ages,
+        }
 
     def __len__(self) -> int:
         return len(self.entries())

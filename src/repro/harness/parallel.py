@@ -41,6 +41,8 @@ from __future__ import annotations
 
 import dataclasses
 import os
+import statistics
+import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -83,6 +85,10 @@ class WorkUnit:
     #: Mirror of the parent session's timeline window: workers sample
     #: their own runs and the timeline events merge back with the rest.
     timeline_window: Optional[int] = None
+    #: Wall-clock submission stamp (set by :func:`evaluate_many`); the
+    #: worker subtracts it from its own start to measure queue wait.
+    #: Wall clocks are shared across processes, so no sync is needed.
+    submitted_wall: Optional[float] = None
 
     @classmethod
     def mirroring(
@@ -116,6 +122,11 @@ class ResultEnvelope:
     #: Pid of the process that evaluated the unit; the merge tags the
     #: re-emitted events with it so traces attribute work per worker.
     worker_pid: Optional[int] = None
+    #: Worker-side busy time spent on this unit (seconds).
+    elapsed_s: float = 0.0
+    #: Time the unit sat in the pool queue before a worker picked it up
+    #: (seconds); 0.0 when the submission stamp is unknown.
+    queue_wait_s: float = 0.0
 
 
 def _evaluate(unit: WorkUnit) -> Dict[str, PolicyComparison]:
@@ -136,17 +147,26 @@ def evaluate_unit(unit: WorkUnit) -> ResultEnvelope:
     valid in-process — :func:`evaluate_many` uses it for the serial
     fallback, which keeps jobs=1 and jobs=N behaviourally identical.
     """
+    started_wall = time.time()
+    queue_wait_s = (
+        max(0.0, started_wall - unit.submitted_wall)
+        if unit.submitted_wall is not None else 0.0
+    )
     if not unit.capture_metrics:
         # Nothing to merge back: run with telemetry hard-off.  A fresh
         # disabled facade also shields a forked worker from any sink
         # (open file) inherited from the parent session.
         previous = set_telemetry(Telemetry(enabled=False))
+        started = time.perf_counter()
         try:
             comparisons = _evaluate(unit)
         finally:
+            elapsed_s = time.perf_counter() - started
             set_telemetry(previous)
         return ResultEnvelope(
-            benchmark=unit.benchmark, scale=unit.scale, comparisons=comparisons
+            benchmark=unit.benchmark, scale=unit.scale,
+            comparisons=comparisons, worker_pid=os.getpid(),
+            elapsed_s=elapsed_s, queue_wait_s=queue_wait_s,
         )
 
     sink = ListSink() if unit.capture_events else None
@@ -154,10 +174,12 @@ def evaluate_unit(unit: WorkUnit) -> ResultEnvelope:
         sink=sink,
         timeline_window=unit.timeline_window if unit.capture_events else None,
     ) as telemetry:
+        started = time.perf_counter()
         with telemetry.span(
             "suite.benchmark", benchmark=unit.benchmark, scale=unit.scale
         ):
             comparisons = _evaluate(unit)
+        elapsed_s = time.perf_counter() - started
         metrics = telemetry.registry.dump()
     return ResultEnvelope(
         benchmark=unit.benchmark,
@@ -166,6 +188,8 @@ def evaluate_unit(unit: WorkUnit) -> ResultEnvelope:
         metrics=metrics,
         events=sink.events if sink is not None else [],
         worker_pid=os.getpid(),
+        elapsed_s=elapsed_s,
+        queue_wait_s=queue_wait_s,
     )
 
 
@@ -213,6 +237,63 @@ def merge_envelope(
                     anchor_id if parent is None else remapped(parent)
                 )
         telemetry.sink.emit(event)
+
+
+def publish_pool_metrics(
+    envelopes: Sequence[Optional[ResultEnvelope]],
+    workers: int,
+    telemetry: Optional[Telemetry] = None,
+) -> None:
+    """Fold a batch's utilisation into the parent registry and sink.
+
+    Histograms and gauges only — never counters — so the serial and
+    parallel paths keep producing identical merged *counter* totals
+    (worker pids differ between the two, and the equivalence contract
+    tests compare counters).  Per batch this records:
+
+    * ``pool.unit_s`` / ``pool.queue_wait_s`` histograms (one
+      observation per unit);
+    * ``pool.busy_s{worker=pid}`` histograms — summing a worker's
+      observations gives its busy time, and comparing workers exposes
+      load imbalance;
+    * ``pool.workers`` / ``pool.straggler_max_s`` /
+      ``pool.straggler_median_s`` / ``pool.straggler_ratio`` gauges —
+      the straggler ratio (max unit time over median unit time) is the
+      one-number answer to "did one benchmark serialise the batch?";
+    * one ``pool`` event per unit, which the Perfetto exporter turns
+      into ``pool unit_s`` / ``pool queue_wait_s`` counter tracks.
+    """
+    telemetry = telemetry or get_telemetry()
+    if not telemetry.enabled:
+        return
+    finished = [env for env in envelopes if env is not None]
+    if not finished:
+        return
+    unit_times = []
+    for envelope in finished:
+        unit_times.append(envelope.elapsed_s)
+        telemetry.histogram("pool.unit_s").observe(envelope.elapsed_s)
+        telemetry.histogram("pool.queue_wait_s").observe(envelope.queue_wait_s)
+        if envelope.worker_pid is not None:
+            telemetry.histogram(
+                "pool.busy_s", worker=envelope.worker_pid
+            ).observe(envelope.elapsed_s)
+        telemetry.event(
+            "pool",
+            t=time.perf_counter(),
+            benchmark=envelope.benchmark,
+            worker_pid=envelope.worker_pid,
+            unit_s=envelope.elapsed_s,
+            queue_wait_s=envelope.queue_wait_s,
+        )
+    median_s = statistics.median(unit_times)
+    max_s = max(unit_times)
+    telemetry.gauge("pool.workers").set(workers)
+    telemetry.gauge("pool.straggler_max_s").set(max_s)
+    telemetry.gauge("pool.straggler_median_s").set(median_s)
+    telemetry.gauge("pool.straggler_ratio").set(
+        max_s / median_s if median_s > 0 else 0.0
+    )
 
 
 class ParallelEvaluationError(RuntimeError):
@@ -265,13 +346,24 @@ def evaluate_many(
     failures: List[Tuple[str, BaseException]] = []
     with telemetry.span("suite.parallel", units=len(units), jobs=workers):
         if workers <= 1:
-            envelopes = [evaluate_unit(unit) for unit in units]
+            envelopes = [
+                evaluate_unit(
+                    dataclasses.replace(unit, submitted_wall=time.time())
+                )
+                for unit in units
+            ]
         else:
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 # One future per unit (not Executor.map): a worker that
                 # dies poisons only its own future, and iterating in
                 # submission order keeps results deterministic.
-                futures = [pool.submit(evaluate_unit, unit) for unit in units]
+                futures = [
+                    pool.submit(
+                        evaluate_unit,
+                        dataclasses.replace(unit, submitted_wall=time.time()),
+                    )
+                    for unit in units
+                ]
                 envelopes = []
                 for unit, future in zip(units, futures):
                     try:
@@ -285,6 +377,7 @@ def evaluate_many(
             for envelope in envelopes:
                 if envelope is not None:
                     merge_envelope(envelope, telemetry)
+            publish_pool_metrics(envelopes, workers, telemetry)
     if failures:
         raise ParallelEvaluationError(
             [(name, str(error)) for name, error in failures],

@@ -35,6 +35,7 @@ from ..energy.model import EnergyModel
 from ..energy.tech import paper_energy_model
 from ..isa.program import Program
 from ..machine.cpu import DEFAULT_MAX_INSTRUCTIONS
+from ..telemetry.ledger import LEDGER_ENV_VAR, RunLedger, RunManifest
 from ..telemetry.runtime import get_telemetry
 from ..workloads.base import SCALE_SMALL, WorkloadSpec
 from ..workloads.suite import RESPONSIVE, all_specs, get
@@ -65,6 +66,7 @@ class SuiteRunner:
         cache_dir: Optional[str] = None,
         max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
         backend: Optional[str] = None,
+        ledger_dir: Optional[str] = None,
     ):
         self.model = model or paper_energy_model()
         self.scale = scale
@@ -75,6 +77,8 @@ class SuiteRunner:
         #: cache keys and worker units name the backend by value.
         self.backend = resolve_backend(backend).name
         self.result_cache = ResultCache(cache_dir) if cache_dir else None
+        #: Cross-run manifest store (``--ledger-dir``); off by default.
+        self.ledger = RunLedger(ledger_dir) if ledger_dir else None
         self._cache: Dict[CacheKey, Dict[str, PolicyComparison]] = {}
         self._programs: Dict[Tuple[str, float], Program] = {}
 
@@ -83,6 +87,7 @@ class SuiteRunner:
         """A runner configured from ``$REPRO_JOBS``/``$REPRO_CACHE_DIR``."""
         overrides.setdefault("jobs", default_jobs())
         overrides.setdefault("cache_dir", os.environ.get("REPRO_CACHE_DIR") or None)
+        overrides.setdefault("ledger_dir", os.environ.get(LEDGER_ENV_VAR) or None)
         return cls(**overrides)
 
     # ------------------------------------------------------------------
@@ -216,7 +221,21 @@ class SuiteRunner:
                 str(self.result_cache.directory)
                 if self.result_cache is not None else None
             ),
+            "ledger": (
+                str(self.ledger.directory) if self.ledger is not None else None
+            ),
         }
+
+    def record_manifest(self, manifest: RunManifest) -> Optional[RunManifest]:
+        """Append *manifest* to the configured run ledger.
+
+        A strict no-op (returns ``None``) when no ledger is configured,
+        so entry points can call it unconditionally — the ledger stays
+        opt-in and costs nothing when off.
+        """
+        if self.ledger is None:
+            return None
+        return self.ledger.append(manifest)
 
     def invalidate(self) -> None:
         """Drop the in-memory caches (programs included).

@@ -13,7 +13,28 @@ Disabled by default and free when off; enable it around any workload::
 See ``docs/observability.md`` for the full guide.
 """
 
+from .drift import (
+    DEFAULT_TOLERANCE,
+    DEFAULT_WINDOW,
+    DriftFinding,
+    DriftReport,
+    check_drift,
+    render_drift_report,
+)
 from .export import export_chrome_trace, trace_summary, validate_chrome_trace
+from .ledger import (
+    LEDGER_SCHEMA_VERSION,
+    RunLedger,
+    RunManifest,
+    collect_manifest,
+    diff_manifests,
+    fidelity_summary,
+    git_revision,
+    ledger_from_env,
+    provenance,
+    render_manifest,
+    render_manifest_diff,
+)
 from .profiler import (
     DEFAULT_SAMPLE_EVERY,
     HotLoopProfiler,
@@ -49,12 +70,15 @@ from .views import figure_observables, occupancy_view, slice_length_view
 from .summary import (
     PhaseTotal,
     cache_hit_rate,
+    cache_io_stats,
     cache_stats,
     hottest_spans,
     phase_totals,
+    pool_stats,
     rcmp_breakdown,
     render_cache_stats,
     render_metrics,
+    render_pool_stats,
     render_rcmp_breakdown,
     render_span_tree,
     render_summary,
@@ -63,6 +87,26 @@ from .summary import (
 __all__ = [
     "DEFAULT_SAMPLE_EVERY",
     "DEFAULT_TIMELINE_WINDOW",
+    "DEFAULT_TOLERANCE",
+    "DEFAULT_WINDOW",
+    "DriftFinding",
+    "DriftReport",
+    "LEDGER_SCHEMA_VERSION",
+    "RunLedger",
+    "RunManifest",
+    "cache_io_stats",
+    "check_drift",
+    "collect_manifest",
+    "diff_manifests",
+    "fidelity_summary",
+    "git_revision",
+    "ledger_from_env",
+    "pool_stats",
+    "provenance",
+    "render_drift_report",
+    "render_manifest",
+    "render_manifest_diff",
+    "render_pool_stats",
     "HotLoopProfiler",
     "ProfileRow",
     "ProfileTotals",

@@ -158,6 +158,26 @@ def export_chrome_trace(events: Iterable[Dict[str, object]]) -> Dict[str, object
                         "args": {"value": float(value)},
                     }
                 )
+        elif kind == "pool":
+            # Pool utilisation records (one per finished work unit)
+            # become counter tracks, so a Perfetto timeline shows unit
+            # cost and queue pressure alongside the spans they explain.
+            stamp = ts_us(float(event["t"]), worker)
+            for name in ("unit_s", "queue_wait_s"):
+                value = event.get(name)
+                if value is None:
+                    continue
+                trace_events.append(
+                    {
+                        "name": f"pool {name}",
+                        "cat": "pool",
+                        "ph": "C",
+                        "ts": stamp,
+                        "pid": pid,
+                        "tid": _tid(worker),
+                        "args": {"value": float(value)},
+                    }
+                )
 
     # Spans that never closed (truncated trace): begin events keep them
     # visible rather than dropping them.

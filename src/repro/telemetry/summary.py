@@ -168,10 +168,62 @@ def cache_hit_rate(counts: Dict[str, int]) -> Optional[float]:
     return hits / lookups
 
 
+#: Disk-cache I/O counters (:mod:`repro.harness.cache`): what moved, in
+#: operations and bytes, as opposed to the per-layer lookup verdicts.
+CACHE_IO_SERIES = (
+    "cache.hits",
+    "cache.misses",
+    "cache.corrupt_misses",
+    "cache.bytes_written",
+)
+
+
+def cache_io_stats(registry: MetricsRegistry) -> Dict[str, float]:
+    """The ``cache.*`` operational counters that saw traffic.
+
+    Keys are the bare counter suffixes (``hits``, ``misses``,
+    ``corrupt_misses``, ``bytes_written``); untouched counters are
+    omitted so a run without a disk cache reports ``{}``.
+    """
+    stats: Dict[str, float] = {}
+    for metric_name in CACHE_IO_SERIES:
+        total = sum(series.value for series in registry.series(metric_name))
+        if total or registry.series(metric_name):
+            stats[metric_name.split(".", 1)[1]] = total
+    return stats
+
+
+def pool_stats(registry: MetricsRegistry) -> Dict[str, object]:
+    """Pool utilisation from the ``pool.*`` series, or ``{}`` if unused.
+
+    ``busy_s`` maps worker pid to total busy seconds; ``unit_s`` and
+    ``queue_wait_s`` are histogram snapshots; the straggler gauges are
+    copied through as plain numbers.
+    """
+    stats: Dict[str, object] = {}
+    busy: Dict[str, float] = {}
+    for series in registry.series("pool.busy_s"):
+        worker = dict(series.labels).get("worker", "?")
+        busy[worker] = busy.get(worker, 0.0) + float(series.sum)
+    if busy:
+        stats["busy_s"] = busy
+    for name in ("pool.unit_s", "pool.queue_wait_s"):
+        for series in registry.series(name):
+            stats[name.split(".", 1)[1]] = series.snapshot()
+    for name in (
+        "pool.workers", "pool.straggler_max_s",
+        "pool.straggler_median_s", "pool.straggler_ratio",
+    ):
+        for series in registry.series(name):
+            stats[name.split(".", 1)[1]] = series.value
+    return stats
+
+
 def render_cache_stats(registry: MetricsRegistry) -> str:
     """Cache effectiveness, one line per layer (memory / disk)."""
     stats = cache_stats(registry)
-    if not stats:
+    io = cache_io_stats(registry)
+    if not stats and not io:
         return "(no result-cache traffic recorded)"
     lines = ["result caches:"]
     for layer in ("memory", "disk"):
@@ -184,6 +236,39 @@ def render_cache_stats(registry: MetricsRegistry) -> str:
             f"{result}={counts[result]}" for result in sorted(counts)
         )
         lines.append(f"  {layer:<7} hit rate {rate_text:>6}  ({detail})")
+    if io:
+        detail = ", ".join(
+            f"{name}={int(io[name])}" for name in (
+                "hits", "misses", "corrupt_misses", "bytes_written"
+            ) if name in io
+        )
+        lines.append(f"  disk io  {detail}")
+    return "\n".join(lines)
+
+
+def render_pool_stats(registry: MetricsRegistry) -> str:
+    """Worker-pool utilisation: busy time per worker plus stragglers."""
+    stats = pool_stats(registry)
+    if not stats:
+        return "(no pool activity recorded)"
+    lines = ["worker pool:"]
+    busy = stats.get("busy_s", {})
+    for worker in sorted(busy):
+        lines.append(f"  worker {worker:<8} busy {busy[worker]:.2f}s")
+    unit = stats.get("unit_s")
+    if unit:
+        lines.append(
+            f"  unit time   p50 {unit['p50']:.2f}s  max {unit['max']:.2f}s  "
+            f"(x{unit['count']})"
+        )
+    wait = stats.get("queue_wait_s")
+    if wait:
+        lines.append(
+            f"  queue wait  p50 {wait['p50']:.3f}s  max {wait['max']:.3f}s"
+        )
+    ratio = stats.get("straggler_ratio")
+    if ratio is not None:
+        lines.append(f"  straggler   max/median = {ratio:.2f}")
     return "\n".join(lines)
 
 
@@ -222,6 +307,8 @@ def render_summary(telemetry: Telemetry, top: int = 5, metrics: bool = True) -> 
         "== result cache ==",
         render_cache_stats(telemetry.registry),
     ]
+    if pool_stats(telemetry.registry):
+        sections += ["", "== worker pool ==", render_pool_stats(telemetry.registry)]
     if metrics:
         sections += ["", "== metrics ==", render_metrics(telemetry.registry)]
     return "\n".join(sections)

@@ -6,9 +6,11 @@ import pytest
 
 from repro.bench import (
     BENCH_SCHEMA_VERSION,
+    COMPATIBLE_SCHEMA_VERSIONS,
     BenchArtifact,
     BenchReport,
     FidelityMetric,
+    artifact_provenance,
     environment_fingerprint,
 )
 
@@ -49,6 +51,10 @@ def sample_artifact() -> BenchArtifact:
         created="20260806T000000Z",
         environment={"python": "3.11.7", "scale": 1.0, "git_sha": None},
         reports={"fig4": sample_report()},
+        provenance={
+            "git_sha": None, "python": "3.11.7",
+            "platform": "Linux-test", "backend": "classic",
+        },
     )
 
 
@@ -82,6 +88,43 @@ def test_load_rejects_other_schema_versions(tmp_path):
     path.write_text(json.dumps(payload))
     with pytest.raises(ValueError, match="schema"):
         BenchArtifact.load(path)
+
+
+def test_v1_artifact_loads_with_synthesised_provenance(tmp_path):
+    assert 1 in COMPATIBLE_SCHEMA_VERSIONS
+    payload = sample_artifact().to_json()
+    payload["schema_version"] = 1
+    del payload["provenance"]  # version 1 predates the block
+    payload["environment"]["platform"] = "Linux-v1"
+    payload["environment"]["git_sha"] = "abc123"
+    path = tmp_path / "BENCH_v1.json"
+    path.write_text(json.dumps(payload))
+    loaded = BenchArtifact.load(path)
+    assert loaded.schema_version == 1
+    assert loaded.provenance == {
+        "git_sha": "abc123",
+        "python": "3.11.7",
+        "platform": "Linux-v1",
+        "backend": "classic",  # v1 predates the fast backend too
+    }
+    assert loaded.reports["fig4"] == sample_report()
+
+
+def test_artifact_provenance_stamps_toolchain_and_backend():
+    class StubRunner:
+        def describe(self):
+            return {"backend": "fast", "scale": 0.25}
+
+    block = artifact_provenance(StubRunner())
+    assert block["backend"] == "fast"
+    for key in ("python", "platform", "git_sha"):
+        assert key in block
+    # A runner that does not name a backend gets the classic default.
+    class QuietRunner:
+        def describe(self):
+            return {}
+
+    assert artifact_provenance(QuietRunner())["backend"] == "classic"
 
 
 def test_environment_fingerprint_embeds_runner_config():

@@ -173,6 +173,49 @@ def test_failed_write_cleans_up_its_temp_file(cache, monkeypatch):
 
 
 # ----------------------------------------------------------------------
+# Operational counters and the stats snapshot.
+# ----------------------------------------------------------------------
+def test_operational_counters_track_hits_misses_and_bytes(cache):
+    key = make_key()
+    with telemetry_session() as telemetry:
+        registry = telemetry.registry
+        assert cache.get(key) is None
+        assert registry.value("cache.misses") == 1
+        cache.put(key, {"FLC": 1})
+        written = registry.value("cache.bytes_written")
+        assert written == cache.entries()[0].stat().st_size > 0
+        assert cache.get(key) == {"FLC": 1}
+        assert registry.value("cache.hits") == 1
+        cache.entries()[0].write_bytes(b"garbage")
+        assert cache.get(key) is None
+        assert registry.value("cache.corrupt_misses") == 1
+        # The corrupt lookup is not double-counted as a plain miss.
+        assert registry.value("cache.misses") == 1
+
+
+def test_stats_snapshot_counts_entries_bytes_and_ages(cache):
+    empty = cache.stats()
+    assert empty["entries"] == 0
+    assert empty["total_bytes"] == 0
+    assert empty["oldest_age_s"] is None
+
+    cache.put(make_key("bfs"), {"FLC": 1})
+    cache.put(make_key("is"), {"FLC": 2})
+    now = max(path.stat().st_mtime for path in cache.entries())
+    stats = cache.stats(now=now + 30)
+    assert stats["entries"] == 2
+    assert stats["total_bytes"] == sum(
+        path.stat().st_size for path in cache.entries()
+    )
+    assert 0 <= stats["newest_age_s"] <= stats["oldest_age_s"]
+    assert stats["age_histogram"]["<1m"] == 2
+    assert sum(stats["age_histogram"].values()) == 2
+    # The same entries, observed a week later, age into the last bucket.
+    later = cache.stats(now=now + 8 * 86400)
+    assert later["age_histogram"]["older"] == 2
+
+
+# ----------------------------------------------------------------------
 # Environment plumbing.
 # ----------------------------------------------------------------------
 def test_cache_from_env(tmp_path, monkeypatch):

@@ -106,9 +106,12 @@ def test_warm_disk_cache_skips_every_evaluation(tmp_path, serial_run):
         second = fresh.results(BENCHMARKS)
         counters = counter_totals(telemetry.registry)
 
-    # Cache-hit counters only: no run stats, no compile counters, no misses.
+    # Cache-hit counters only: no run stats, no compile counters, no
+    # misses.  The per-layer verdict counter and the bare operational
+    # counter (`repro stats` disk-io line) tick together on every hit.
     assert counters == {
-        "suite.result_cache{result=hit}": len(BENCHMARKS)
+        "suite.result_cache{result=hit}": len(BENCHMARKS),
+        "cache.hits": len(BENCHMARKS),
     }
     serial, _, _ = serial_run
     for benchmark in BENCHMARKS:
@@ -117,6 +120,38 @@ def test_warm_disk_cache_skips_every_evaluation(tmp_path, serial_run):
                 expected.edp_gain_percent
             )
     assert list(first) == list(second) == BENCHMARKS
+
+
+@pytest.mark.integration
+def test_pool_metrics_flow_into_merged_registry():
+    """Batch utilisation lands in the parent registry as histograms,
+    gauges, and one ``pool`` event per unit — never counters, so the
+    serial-vs-parallel counter equality above stays intact."""
+    from repro.telemetry.summary import pool_stats
+
+    units = [
+        WorkUnit(benchmark=name, scale=SCALE, policies=("FLC",))
+        for name in BENCHMARKS
+    ]
+    with telemetry_session(collect_events=True) as telemetry:
+        evaluate_many(units, jobs=2)
+        stats = pool_stats(telemetry.registry)
+        events = list(telemetry.sink.events)
+        counters = counter_totals(telemetry.registry)
+
+    assert stats["workers"] == 2
+    assert stats["unit_s"]["count"] == len(BENCHMARKS)
+    assert stats["queue_wait_s"]["count"] == len(BENCHMARKS)
+    assert stats["unit_s"]["max"] > 0
+    assert stats["straggler_max_s"] >= stats["straggler_median_s"] > 0
+    assert stats["straggler_ratio"] >= 1.0
+    assert stats["busy_s"] and all(
+        busy > 0 for busy in stats["busy_s"].values()
+    )
+    pool_events = [event for event in events if event.get("type") == "pool"]
+    assert len(pool_events) == len(BENCHMARKS)
+    assert {event["benchmark"] for event in pool_events} == set(BENCHMARKS)
+    assert all(not name.startswith("pool.") for name in counters)
 
 
 def test_work_unit_and_envelope_are_picklable():

@@ -1,0 +1,185 @@
+"""Drift watchdog: regression flagging against synthetic ledger history.
+
+Builds synthetic manifest histories (no real runs — drift logic is pure)
+and checks the gate's contract: a seeded >=10% ips or fidelity
+regression is flagged with a failing verdict, flat history passes,
+young/empty ledgers pass, improvements are not failures, and only
+comparable runs (same kind/target/scale/backend/policies) gate each
+other.
+"""
+
+import pytest
+
+from repro.telemetry.drift import (
+    DEFAULT_MIN_HISTORY,
+    IMPROVED,
+    OK,
+    REGRESSED,
+    SKIPPED,
+    check_drift,
+    comparable,
+    render_drift_report,
+)
+from repro.telemetry.ledger import RunManifest
+
+
+def make_run(ips=1000.0, wall_s=2.0, fidelity_score=0.8, **overrides):
+    fields = dict(
+        kind="bench", command="repro bench", target="fig3,fig4",
+        scale=1.0, backend="classic", policies=["FLC", "LRR"],
+        wall_s=wall_s, ips=ips, instructions=int(ips * wall_s),
+        fidelity=(
+            None if fidelity_score is None
+            else {"score": fidelity_score, "metrics": 10}
+        ),
+    )
+    fields.update(overrides)
+    return RunManifest.new(**fields)
+
+
+def history(n=6, **kwargs):
+    return [make_run(**kwargs) for _ in range(n)]
+
+
+def finding(report, metric):
+    return next(f for f in report.findings if f.metric == metric)
+
+
+# ----------------------------------------------------------------------
+# Verdicts.
+# ----------------------------------------------------------------------
+def test_flat_history_passes():
+    report = check_drift(history(8))
+    assert report.ok
+    assert {f.verdict for f in report.findings} == {OK}
+    assert report.comparable_runs == 7
+    assert "PASS" in render_drift_report(report)
+
+
+def test_seeded_ips_regression_is_flagged():
+    runs = history(6) + [make_run(ips=850.0)]  # 15% below the median
+    report = check_drift(runs)
+    assert not report.ok
+    ips = finding(report, "ips")
+    assert ips.verdict == REGRESSED
+    assert ips.delta_fraction == pytest.approx(-0.15)
+    assert "FAIL" in render_drift_report(report)
+
+
+def test_seeded_fidelity_regression_is_flagged():
+    runs = history(6) + [make_run(fidelity_score=0.68)]  # 15% drop
+    report = check_drift(runs)
+    fidelity = finding(report, "fidelity")
+    assert fidelity.verdict == REGRESSED
+    assert not report.ok
+
+
+def test_wall_time_regression_is_higher_not_lower():
+    runs = history(6) + [make_run(wall_s=2.5)]  # 25% slower
+    report = check_drift(runs)
+    assert finding(report, "wall_s").verdict == REGRESSED
+    # ips was held constant, so it does not co-trip.
+    assert finding(report, "ips").verdict == OK
+
+
+def test_improvement_is_reported_but_never_fails():
+    runs = history(6) + [make_run(ips=1500.0, wall_s=1.0)]
+    report = check_drift(runs)
+    assert report.ok
+    assert finding(report, "ips").verdict == IMPROVED
+    assert finding(report, "wall_s").verdict == IMPROVED
+
+
+def test_move_inside_tolerance_is_ok():
+    runs = history(6) + [make_run(ips=950.0)]  # -5% < 10% tolerance
+    assert check_drift(runs).ok
+    # ...and a tighter tolerance turns the same move into a regression.
+    assert not check_drift(runs, tolerance=0.02).ok
+
+
+# ----------------------------------------------------------------------
+# History requirements and windowing.
+# ----------------------------------------------------------------------
+def test_empty_ledger_passes_with_skipped_findings():
+    report = check_drift([])
+    assert report.ok
+    assert report.latest is None
+    assert {f.verdict for f in report.findings} == {SKIPPED}
+    assert "pass" in render_drift_report(report).lower()
+
+
+def test_insufficient_history_skips_instead_of_gating():
+    runs = history(DEFAULT_MIN_HISTORY - 1) + [make_run(ips=100.0)]
+    report = check_drift(runs)
+    assert report.ok
+    assert finding(report, "ips").verdict == SKIPPED
+
+
+def test_window_bounds_the_baseline():
+    # Old slow era, then a fast era; a window covering only the fast era
+    # must flag a return to the old slow throughput.
+    runs = history(10, ips=500.0) + history(6, ips=1000.0) + [make_run(ips=500.0)]
+    windowed = check_drift(runs, window=6)
+    assert finding(windowed, "ips").verdict == REGRESSED
+    # A huge window dilutes the median back toward the slow era.
+    diluted = check_drift(runs, window=100)
+    assert finding(diluted, "ips").median == pytest.approx(500.0)
+    assert finding(diluted, "ips").verdict == OK
+
+
+def test_unscored_latest_skips_fidelity():
+    runs = history(6) + [make_run(fidelity_score=None)]
+    report = check_drift(runs)
+    assert finding(report, "fidelity").verdict == SKIPPED
+    assert report.ok
+
+
+# ----------------------------------------------------------------------
+# Comparability.
+# ----------------------------------------------------------------------
+def test_incomparable_runs_never_gate_each_other():
+    latest = make_run()
+    assert comparable(latest, make_run())
+    assert not comparable(latest, make_run(backend="fast"))
+    assert not comparable(latest, make_run(scale=0.5))
+    assert not comparable(latest, make_run(target="fig5"))
+    assert not comparable(latest, make_run(kind="run"))
+    assert not comparable(latest, make_run(policies=["FLC"]))
+    # A fast-backend slowdown cannot be masked by classic history, and
+    # classic history cannot gate a fast run: the fast run has no
+    # comparable history at all, so everything is skipped.
+    runs = history(8) + [make_run(backend="fast", ips=100.0)]
+    report = check_drift(runs)
+    assert report.comparable_runs == 0
+    assert report.ok
+    assert {f.verdict for f in report.findings} == {SKIPPED}
+
+
+def test_model_fingerprint_change_still_gates():
+    # The energy model is deliberately outside the comparability key: a
+    # model swap that moves fidelity is drift the watchdog must flag.
+    runs = history(6, model_fingerprint="old") + [
+        make_run(model_fingerprint="new", fidelity_score=0.4)
+    ]
+    report = check_drift(runs)
+    assert finding(report, "fidelity").verdict == REGRESSED
+
+
+def test_explicit_latest_and_metric_subset():
+    runs = history(6) + [make_run(ips=100.0)]
+    # Gating an older run ignores everything after it.
+    report = check_drift(runs, latest=runs[4], metrics=["ips"])
+    assert [f.metric for f in report.findings] == ["ips"]
+    assert report.ok
+    with pytest.raises(KeyError):
+        check_drift(runs, metrics=["no-such-metric"])
+
+
+def test_report_json_is_stable():
+    runs = history(6) + [make_run(ips=850.0)]
+    payload = check_drift(runs).to_json()
+    assert payload["ok"] is False
+    assert payload["latest"] == runs[-1].run_id
+    assert payload["tolerance"] == 0.10
+    metrics = {f["metric"]: f["verdict"] for f in payload["findings"]}
+    assert metrics["ips"] == "regressed"

@@ -100,6 +100,24 @@ def test_timeline_windows_become_counter_tracks(events):
     assert "amnesic#0 instructions" in by_name
 
 
+def test_pool_events_become_counter_tracks(events):
+    events.append({
+        "type": "pool", "worker": WORKER_A, "t": 5.1,
+        "benchmark": "bfs", "unit_s": 0.8, "queue_wait_s": 0.05,
+    })
+    trace = export_chrome_trace(events)
+    counters = {
+        e["name"]: e for e in trace["traceEvents"]
+        if e["ph"] == "C" and e["cat"] == "pool"
+    }
+    assert set(counters) == {"pool unit_s", "pool queue_wait_s"}
+    assert counters["pool unit_s"]["args"] == {"value": 0.8}
+    assert counters["pool unit_s"]["tid"] == WORKER_A
+    # Rebased onto the parent timeline like every other worker stamp.
+    assert counters["pool unit_s"]["ts"] == pytest.approx(600_000.0)
+    assert validate_chrome_trace(trace) == []
+
+
 def test_thread_metadata_names_main_and_workers(events):
     trace = export_chrome_trace(events)
     names = {
