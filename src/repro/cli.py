@@ -13,6 +13,8 @@ Usage (also available as ``python -m repro``)::
     repro profile fig4 [--scale 1.0] [--exact | --sample-every N]
     repro trace export run.jsonl -o run.trace.json
     repro trace validate run.trace.json
+    repro lint [--benchmarks is,mcf] [--cross-check] [--prove-rules]
+    repro lint --self
     repro runs list [--kind bench] [--target fig4] [--limit 20]
     repro runs show <run-id>
     repro runs diff <run-a> <run-b>
@@ -479,6 +481,65 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_telemetry_flags(fuzz_cmd)
     fuzz_cmd.set_defaults(handler=cmd_fuzz)
+
+    lint_cmd = sub.add_parser(
+        "lint",
+        help="static slice-safety verifier and region analyzer over "
+             "compiled artifacts",
+    )
+    lint_cmd.add_argument(
+        "--benchmarks", metavar="NAMES", default=None,
+        help="comma-separated kernels to lint (default: the whole suite)",
+    )
+    lint_cmd.add_argument(
+        "--scale", type=float, default=1.0,
+        help="workload scale factor for kernel compilation",
+    )
+    lint_cmd.add_argument(
+        "--corpus-dir", metavar="DIR", default="tests/corpus",
+        help="fuzz-corpus directory to sweep (default: tests/corpus)",
+    )
+    lint_cmd.add_argument(
+        "--no-kernels", action="store_true",
+        help="skip the kernel suite",
+    )
+    lint_cmd.add_argument(
+        "--no-corpus", action="store_true",
+        help="skip the fuzz corpus",
+    )
+    lint_cmd.add_argument(
+        "--self", dest="self_only", action="store_true",
+        help="run only the codebase layering lint (import-graph rules)",
+    )
+    lint_cmd.add_argument(
+        "--cross-check", action="store_true",
+        help="compare every corpus entry's static verdict against the "
+             "dynamic oracle (static PASS + dynamic FAIL is a hard error)",
+    )
+    lint_cmd.add_argument(
+        "--prove-rules", action="store_true",
+        help="run the deliberately broken compiler passes; each must be "
+             "flagged with its expected rule id",
+    )
+    lint_cmd.add_argument(
+        "--regions-out", metavar="DIR", default=None,
+        help="write schema-versioned region artifacts here (one JSON "
+             "per program)",
+    )
+    lint_cmd.add_argument(
+        "--backend", choices=BACKEND_NAMES, default=None,
+        help="execution backend for profiling runs",
+    )
+    lint_cmd.add_argument(
+        "--max-findings", type=int, default=0, metavar="N",
+        help="truncate each program's finding list (0 = show all)",
+    )
+    lint_cmd.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (json is stable for scripting)",
+    )
+    _add_telemetry_flags(lint_cmd)
+    lint_cmd.set_defaults(handler=cmd_lint)
 
     runs_cmd = sub.add_parser(
         "runs", help="browse and gate the persistent run ledger"
@@ -1170,6 +1231,76 @@ def cmd_fuzz(args) -> int:
         if result.ok:
             print("no equivalence violations found")
     return 0 if result.ok else 1
+
+
+def cmd_lint(args) -> int:
+    """Static slice-safety verification; exit 1 on any ERROR finding."""
+    from .staticcheck.diagnostics import Severity
+    from .staticcheck.lint import LintSettings, run_lint
+
+    benchmarks = None
+    if args.benchmarks:
+        benchmarks = [
+            part.strip() for part in args.benchmarks.split(",") if part.strip()
+        ]
+    corpus_dir: Optional[str] = args.corpus_dir
+    if args.no_corpus or args.self_only:
+        corpus_dir = None
+    elif corpus_dir is not None and not os.path.isdir(corpus_dir):
+        print(f"error: corpus directory {corpus_dir} not found",
+              file=sys.stderr)
+        return 2
+    settings = LintSettings(
+        benchmarks=benchmarks,
+        include_kernels=not (args.no_kernels or args.self_only),
+        corpus_dir=corpus_dir,
+        scale=args.scale,
+        cross_check=args.cross_check,
+        prove_rules=args.prove_rules and corpus_dir is not None,
+        self_check=True,
+        regions_out=args.regions_out,
+        backend=args.backend,
+    )
+    text = args.format == "text"
+    try:
+        run = run_lint(settings, progress=print if text else None)
+    except KeyError as error:
+        print(f"error: unknown benchmark(s): {error.args[0]}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(json.dumps(run.to_json(), indent=2))
+        return 0 if run.ok else 1
+
+    shown = False
+    for report in run.reports:
+        interesting = [
+            finding for finding in report.findings
+            if finding.effective_severity is not Severity.INFO
+        ]
+        if not interesting:
+            continue
+        shown = True
+        print()
+        limit = args.max_findings
+        for finding in interesting[: limit or len(interesting)]:
+            print(f"  {finding}")
+        if limit and len(interesting) > limit:
+            print(f"  ... ({len(interesting) - limit} more)")
+    missed = [outcome for outcome in run.prove if not outcome.ok]
+    for outcome in missed:
+        print(
+            f"\nbroken pass {outcome.name} was NOT flagged with "
+            f"{outcome.expected_rule} ({outcome.attempted} program(s) tried)"
+        )
+    if shown or missed:
+        print()
+    print(
+        f"lint: {len(run.results)} program(s), {run.error_count} error(s), "
+        f"{run.warning_count} warning(s)"
+        + (f", {len(run.prove)} broken pass(es) proven" if run.prove and not missed else "")
+    )
+    return 0 if run.ok else 1
 
 
 def cmd_report(args) -> int:

@@ -35,7 +35,7 @@ from ..isa.opcodes import Opcode
 from ..isa.operands import HistRef, Imm, Operand, Reg, SReg
 from ..isa.program import Program, SliceRegion
 from ..isa.validate import validate_program
-from .rslice import LeafInputKind, RSlice, TemplateNode
+from .rslice import LeafInput, LeafInputKind, RSlice, TemplateNode
 
 
 @dataclasses.dataclass
@@ -135,7 +135,7 @@ def _entry_label(slice_id: int) -> str:
 class _CheckpointPlan:
     """REC instructions grouped by original pc and placement side."""
 
-    def __init__(self, rslices: List[RSlice]):
+    def __init__(self, rslices: List[RSlice]) -> None:
         self._before: Dict[int, List[Instruction]] = {}
         self._after: Dict[int, List[Instruction]] = {}
         for rslice in rslices:
@@ -162,7 +162,7 @@ def _node_ids(root: TemplateNode) -> Dict[int, int]:
     return {id(node): index for index, node in enumerate(root.post_order())}
 
 
-def _hist_inputs(node: TemplateNode):
+def _hist_inputs(node: TemplateNode) -> List[LeafInput]:
     """The node's checkpointed inputs, in slot order."""
     return [
         li

@@ -88,7 +88,9 @@ def form_slice_tree(
 class _SliceFormer:
     """Cut selection over one template tree."""
 
-    def __init__(self, context: CostContext, load_pc: int, facts: OperandFacts):
+    def __init__(
+        self, context: CostContext, load_pc: int, facts: OperandFacts
+    ) -> None:
         self.context = context
         self.load_pc = load_pc
         self.facts = facts

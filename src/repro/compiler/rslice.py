@@ -19,8 +19,10 @@ import dataclasses
 import enum
 from typing import Iterator, List, Optional, Tuple, Union
 
+from collections import Counter
+
 from ..energy.account import Cost
-from ..isa.opcodes import Opcode
+from ..isa.opcodes import Category, Opcode
 
 Value = Union[int, float]
 
@@ -196,11 +198,9 @@ class RSlice:
             if any(li.kind.needs_checkpoint for li in node.leaf_inputs)
         ]
 
-    def category_counts(self):
+    def category_counts(self) -> "Counter[Category]":
         """Instruction mix of the slice, for cost estimation."""
-        from collections import Counter
-
-        counts = Counter()
+        counts: "Counter[Category]" = Counter()
         for node in self.root.walk():
             opcode = Opcode.MOV if node.is_checkpoint_load else node.opcode
             counts[opcode.category] += 1

@@ -13,6 +13,7 @@ would poison future replays.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import json
 import os
@@ -86,10 +87,8 @@ def save_entry(directory: Union[str, Path], entry: CorpusEntry) -> Path:
             handle.write(payload)
         os.replace(temp_name, path)
     except BaseException:
-        try:
+        with contextlib.suppress(OSError):
             os.unlink(temp_name)
-        except OSError:
-            pass
         raise
     return path
 

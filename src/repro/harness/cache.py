@@ -18,6 +18,7 @@ treated as misses, never as errors.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import hashlib
 import json
@@ -103,10 +104,8 @@ class ResultCache:
             # so the rewritten entry is clean.
             telemetry.counter("suite.result_cache", result="corrupt").inc()
             telemetry.counter("cache.corrupt_misses").inc()
-            try:
+            with contextlib.suppress(OSError):
                 path.unlink()
-            except OSError:
-                pass
             return None
         telemetry.counter("suite.result_cache", result="hit").inc()
         telemetry.counter("cache.hits").inc()
@@ -125,10 +124,8 @@ class ResultCache:
                 stream.write(blob)
             os.replace(tmp_name, self._path(key))
         except BaseException:
-            try:
+            with contextlib.suppress(OSError):
                 os.unlink(tmp_name)
-            except OSError:
-                pass
             raise
         telemetry = get_telemetry()
         telemetry.counter("suite.result_cache", result="store").inc()
@@ -145,11 +142,9 @@ class ResultCache:
         """Delete every entry; returns how many were removed."""
         removed = 0
         for path in self.entries():
-            try:
+            with contextlib.suppress(OSError):
                 path.unlink()
                 removed += 1
-            except OSError:
-                pass
         return removed
 
     def stats(self, now: Optional[float] = None) -> Dict[str, object]:

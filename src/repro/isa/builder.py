@@ -32,7 +32,7 @@ _INVERSE_BRANCH = {
 class ProgramBuilder:
     """Incrementally builds a :class:`~repro.isa.program.Program`."""
 
-    def __init__(self, name: str = "program"):
+    def __init__(self, name: str = "program") -> None:
         self.program = Program(name)
         self._next_register = 1  # r0 is hardwired zero
         self._named_registers = {}

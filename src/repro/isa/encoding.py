@@ -23,13 +23,13 @@ property tests rely on this.
 from __future__ import annotations
 
 import re
-from typing import List, Optional
+from typing import Iterator, List, Optional, Tuple, Union
 
 from ..errors import AssemblyError
 from .instructions import Instruction
 from .opcodes import ARITY, Opcode
 from .operands import parse_operand
-from .program import Program, SliceRegion
+from .program import DataSegment, Program, SliceRegion
 
 _HAS_DEST = {
     op: (op.is_compute or op in (Opcode.LD, Opcode.RCMP, Opcode.RTN, Opcode.JAL))
@@ -90,9 +90,11 @@ def _format_number(value) -> str:
     return str(value)
 
 
-def _contiguous_runs(addresses: List[int], data):
+def _contiguous_runs(
+    addresses: List[int], data: DataSegment
+) -> Iterator[Tuple[int, List[Union[int, float]]]]:
     run_base: Optional[int] = None
-    run_values: List = []
+    run_values: List[Union[int, float]] = []
     previous = None
     for address in addresses:
         if run_base is None:
@@ -157,7 +159,7 @@ def _parse_directive(program: Program, line: str) -> None:
         raise AssemblyError(f"unknown directive {directive}")
 
 
-def _parse_number(text: str):
+def _parse_number(text: str) -> Union[int, float]:
     try:
         return int(text, 0)
     except ValueError:

@@ -21,7 +21,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Iterator, Optional, Tuple, Union
 
-from .opcodes import ARITY, Opcode
+from .opcodes import ARITY, Category, Opcode
 from .operands import HistRef, Imm, Operand, Reg, SReg
 
 
@@ -52,7 +52,7 @@ class Instruction:
     # Structural queries.
     # ------------------------------------------------------------------
     @property
-    def category(self):
+    def category(self) -> Category:
         """Energy category of this instruction (delegates to the opcode)."""
         return self.opcode.category
 

@@ -71,7 +71,7 @@ class SliceRegion:
 class Program:
     """An assembled program: instruction stream + labels + data + slices."""
 
-    def __init__(self, name: str = "program"):
+    def __init__(self, name: str = "program") -> None:
         self.name = name
         self.instructions: List[Instruction] = []
         self.labels: Dict[str, int] = {}

@@ -454,8 +454,7 @@ class _ProgramDecoder:
         An undefined label keeps the classic at-execution fault by
         leaving the pc thunked.
         """
-        target = self.program.labels.get(instruction.target)
-        return target
+        return self.program.labels.get(instruction.target)
 
     def _make_jmp(self, pc, instruction):
         target_pc = self._target_pc(instruction)

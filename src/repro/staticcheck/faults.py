@@ -1,0 +1,192 @@
+"""Deliberately broken compiler passes: proof the verifier catches bugs.
+
+Mirrors PR 4's broken-CPU harness at the compiler level.  Each entry
+takes a *correct* compilation and re-derives a subtly wrong artifact the
+way a real compiler bug would — and, crucially, each broken pass is
+**internally consistent** (it recomputes its own costs and re-lowers its
+own slices), so only the rule that independently re-derives the violated
+invariant can catch it.  `repro lint --prove-rules` asserts that each
+pass is flagged with exactly its expected rule id, and with no other
+ERROR drowning the signal out.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..compiler.amnesic_pass import CompilationResult
+from ..compiler.annotate import rewrite_binary
+from ..compiler.cost import CostContext
+from ..compiler.deadstore import DeadStoreAnalysis, analysis_for_compilation
+from ..compiler.rslice import LeafInputKind, RSlice
+from ..energy.model import EnergyModel
+from ..isa.opcodes import Opcode
+from ..isa.program import Program
+
+#: A broken pass: (original, good compilation, model) -> broken artifact,
+#: or None when the program cannot exhibit the bug (no trigger material).
+BrokenArtifact = Tuple[CompilationResult, Optional[DeadStoreAnalysis]]
+BrokenPass = Callable[
+    [Program, CompilationResult, EnergyModel], Optional[BrokenArtifact]
+]
+
+
+def _recost_rslices(
+    compilation: CompilationResult, model: EnergyModel, roots
+) -> List[RSlice]:
+    """Price *roots* exactly like the real pass would (self-consistency)."""
+    context = CostContext.from_trace(
+        model,
+        compilation.profile.loads,
+        compilation.profile.dependence,
+        estimation=compilation.options.estimation,
+    )
+    rslices = []
+    for rslice, root in zip(compilation.rslices, roots):
+        rslices.append(
+            dataclasses.replace(
+                rslice,
+                root=root,
+                traversal_cost=context.traversal_cost(root),
+                selection_cost=context.selection_cost(root, rslice.load_pc),
+                estimated_load_cost=context.estimated_load_cost(rslice.load_pc),
+            )
+        )
+    return rslices
+
+
+def clobber_blind_classifier(
+    original: Program, compilation: CompilationResult, model: EnergyModel
+) -> Optional[BrokenArtifact]:
+    """A leaf classifier that trusts every register to still be live.
+
+    Flips every checkpointed (HIST) compute-leaf input to LIVE_REG — the
+    classification a compiler gets when it forgets that a register can be
+    rebound between the producer and the swapped load — then re-lowers
+    and re-prices the slices so the artifact is otherwise immaculate.
+    Expected: SLC104 (live-leaf-clobber).
+    """
+    roots = [copy.deepcopy(rslice.root) for rslice in compilation.rslices]
+    flipped = 0
+    for root in roots:
+        for node in root.walk():
+            if node.is_checkpoint_load:
+                continue
+            for leaf_input in node.leaf_inputs:
+                if (
+                    leaf_input.kind is LeafInputKind.HIST
+                    and leaf_input.reg_index is not None
+                ):
+                    leaf_input.kind = LeafInputKind.LIVE_REG
+                    flipped += 1
+    if not flipped:
+        return None
+    rslices = _recost_rslices(compilation, model, roots)
+    binary = rewrite_binary(original, rslices)
+    broken = dataclasses.replace(compilation, binary=binary, rslices=rslices)
+    return broken, None
+
+
+def rec_misplacing_rewriter(
+    original: Program, compilation: CompilationResult, model: EnergyModel
+) -> Optional[BrokenArtifact]:
+    """A rewriter that plants compute-leaf RECs *after* their producer.
+
+    The paper-naive placement: checkpoint after the instruction runs.
+    For in-place updates the checkpointed registers then hold the
+    *result*, not the producer's inputs — the exact deviation DESIGN.md
+    documents.  Expected: SLC103 (rec-placement-clobber).
+    """
+    binary = compilation.binary.program
+    checkpoint_load_pcs = set()
+    for rslice in compilation.rslices:
+        for node in rslice.root.walk():
+            if node.is_checkpoint_load:
+                checkpoint_load_pcs.add(node.pc)
+
+    instructions = list(binary.instructions)
+    main_end = min(
+        (region.start for region in binary.slices.values()),
+        default=len(instructions),
+    )
+    swaps = []
+    for pc in range(main_end - 1):
+        instruction = instructions[pc]
+        if instruction.opcode is not Opcode.REC:
+            continue
+        follower = instructions[pc + 1]
+        if follower.opcode in (Opcode.REC, Opcode.RCMP):
+            continue  # after-REC (checkpoint load) or stacked RECs
+        swaps.append(pc)
+    if not swaps:
+        return None
+    for pc in swaps:
+        instructions[pc], instructions[pc + 1] = instructions[pc + 1], instructions[pc]
+
+    moved = Program(binary.name)
+    moved.instructions = instructions
+    moved.labels = dict(binary.labels)
+    moved.data = binary.data
+    moved.slices = dict(binary.slices)
+    broken_binary = dataclasses.replace(compilation.binary, program=moved)
+    broken = dataclasses.replace(compilation, binary=broken_binary)
+    return broken, None
+
+
+def amortization_dropping_coster(
+    original: Program, compilation: CompilationResult, model: EnergyModel
+) -> Optional[BrokenArtifact]:
+    """A cost model that forgets the main-path REC overhead.
+
+    Selection cost collapses to the bare traversal cost — slices whose
+    checkpoint storms should have disqualified them look profitable.
+    Expected: CST200 (cost-bound).
+    """
+    if not any(rslice.hist_leaves() for rslice in compilation.rslices):
+        return None  # no RECs, nothing to amortise, recorded == derived
+    rslices = [
+        dataclasses.replace(rslice, selection_cost=rslice.traversal_cost)
+        for rslice in compilation.rslices
+    ]
+    broken = dataclasses.replace(compilation, rslices=rslices)
+    return broken, None
+
+
+def alias_blind_deadstores(
+    original: Program, compilation: CompilationResult, model: EnergyModel
+) -> Optional[BrokenArtifact]:
+    """A dead-store analysis that loses consumers it cannot see.
+
+    Drops every non-swapped load from each store site's consumer list —
+    the mistake an address-insensitive analysis makes when two access
+    streams alias — so stores feeding live loads claim elidability.
+    Expected: DST300 (deadstore-soundness).
+    """
+    analysis = analysis_for_compilation(compilation)
+    swapped = set(compilation.swapped_load_pcs)
+    dropped = 0
+    sites = []
+    for site in analysis.sites:
+        kept = tuple(pc for pc in site.consumer_load_pcs if pc in swapped)
+        dropped += len(site.consumer_load_pcs) - len(kept)
+        sites.append(dataclasses.replace(site, consumer_load_pcs=kept))
+    if not dropped:
+        return None
+    broken_analysis = DeadStoreAnalysis(
+        sites=sites,
+        swapped_load_pcs=analysis.swapped_load_pcs,
+        total_dynamic_stores=analysis.total_dynamic_stores,
+    )
+    return compilation, broken_analysis
+
+
+#: Registry: pass name -> (expected rule id, the pass).  `repro lint
+#: --prove-rules` iterates this; docs/static-analysis.md lists it.
+BROKEN_PASSES: Dict[str, Tuple[str, BrokenPass]] = {
+    "clobber-blind-classifier": ("SLC104", clobber_blind_classifier),
+    "rec-misplacing-rewriter": ("SLC103", rec_misplacing_rewriter),
+    "amortization-dropping-coster": ("CST200", amortization_dropping_coster),
+    "alias-blind-deadstores": ("DST300", alias_blind_deadstores),
+}

@@ -233,7 +233,9 @@ class RunLedger:
         manifests: List[RunManifest] = []
         skipped = 0
         try:
-            stream = open(self.path, "r", encoding="utf-8")
+            # The handle is owned by the `with` below; the try only
+            # brackets the open itself.
+            stream = open(self.path, "r", encoding="utf-8")  # noqa: SIM115
         except FileNotFoundError:
             return LedgerReadResult()
         with stream:

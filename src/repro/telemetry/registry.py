@@ -201,11 +201,10 @@ class MetricsRegistry:
 
     def series(self, name: Optional[str] = None) -> List[object]:
         """All series, or all series of one metric name, sorted."""
-        picked = [
+        return [
             metric for (metric_name, _), metric in sorted(self._series.items())
             if name is None or metric_name == name
         ]
-        return picked
 
     def snapshot(self) -> Dict[str, object]:
         """JSON-able view of every series."""

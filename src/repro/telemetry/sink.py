@@ -48,7 +48,8 @@ class JsonlSink:
             self._owns_stream = False
             self.path: Optional[str] = getattr(target, "name", None)
         else:
-            self._stream = open(target, "w", encoding="utf-8")
+            # Held for the sink's lifetime; released in close().
+            self._stream = open(target, "w", encoding="utf-8")  # noqa: SIM115
             self._owns_stream = True
             self.path = str(target)
         self.events_written = 0

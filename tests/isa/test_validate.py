@@ -135,3 +135,73 @@ def test_overlapping_slices_rejected():
     )
     with pytest.raises(ValidationError):
         validate_program(program)
+
+
+# ----------------------------------------------------------------------
+# Edge cases: off-end targets, duplicate labels, operand arity.
+# ----------------------------------------------------------------------
+def test_branch_target_at_program_end_is_legal():
+    """A label bound to pc == len(program) validates; taking the branch
+
+    is a runtime concern (the static analyzer's CFG003 warns about it).
+    """
+    program = Program()
+    program.append(branch(Opcode.BEQ, Reg(1), Imm(0), "end"))
+    program.append(halt())
+    program.add_label("end", 2)  # one past the last instruction
+    validate_program(program)
+
+
+def test_label_one_past_end_plus_one_is_rejected():
+    program = Program()
+    program.append(halt())
+    program.add_label("beyond", 2)
+    with pytest.raises(ValidationError, match="outside program"):
+        validate_program(program)
+
+
+def test_duplicate_label_rejected():
+    program = Program()
+    program.add_label("loop", 0)
+    with pytest.raises(ValidationError, match="duplicate label"):
+        program.add_label("loop", 0)
+
+
+def test_duplicate_slice_id_rejected():
+    program = minimal_valid_amnesic_program()
+    with pytest.raises(ValidationError, match="duplicate slice id"):
+        program.register_slice(
+            SliceRegion(
+                slice_id=0, entry_label="rslice_0", start=3, end=5, load_pc=1
+            )
+        )
+
+
+def test_alu_operand_arity_mismatch_rejected():
+    with pytest.raises(ValueError, match="expects 2 sources"):
+        alu(Opcode.ADD, Reg(1), Imm(1))  # ADD is binary
+    with pytest.raises(ValueError, match="expects 1 sources"):
+        alu(Opcode.FNEG, Reg(1), Imm(1), Imm(2))  # FNEG is unary
+
+
+def test_memory_operand_arity_mismatch_rejected():
+    from repro.isa import Instruction
+
+    with pytest.raises(ValueError, match="expects 2 sources"):
+        Instruction(Opcode.LD, dest=Reg(1), srcs=(Reg(2),))
+    with pytest.raises(ValueError, match="expects 3 sources"):
+        Instruction(Opcode.ST, srcs=(Reg(1), Reg(2)))
+
+
+def test_branch_operand_arity_mismatch_rejected():
+    from repro.isa import Instruction
+
+    with pytest.raises(ValueError, match="expects 2 sources"):
+        Instruction(Opcode.BEQ, srcs=(Reg(1),), target="somewhere")
+
+
+def test_amnesic_opcodes_require_a_slice_id():
+    from repro.isa import Instruction
+
+    with pytest.raises(ValueError, match="requires a slice_id"):
+        Instruction(Opcode.RTN, dest=SReg(0))

@@ -1,0 +1,169 @@
+"""CFG construction: edge kinds, blocks, and whole-corpus invariants."""
+
+import pytest
+
+from repro.fuzz.corpus import load_corpus
+from repro.fuzz.oracle import default_fuzz_model
+from repro.fuzz.spec import materialize
+from repro.compiler.amnesic_pass import compile_amnesic
+from repro.isa import (
+    Imm,
+    Instruction,
+    Opcode,
+    Program,
+    Reg,
+    SReg,
+    SliceRegion,
+    alu,
+    branch,
+    halt,
+    li,
+    rcmp,
+    rtn,
+)
+from repro.staticcheck.cfg import build_cfg
+
+CORPUS_DIR = "tests/corpus"
+
+
+def straight_line() -> Program:
+    program = Program("straight")
+    program.append(li(Reg(1), 1))
+    program.append(alu(Opcode.ADD, Reg(2), Reg(1), Imm(1)))
+    program.append(halt())
+    return program
+
+
+def test_straight_line_is_one_block():
+    cfg = build_cfg(straight_line())
+    assert len(cfg.blocks) == 1
+    assert cfg.blocks[0].start == 0 and cfg.blocks[0].end == 3
+    assert cfg.successors[0] == [1]
+    assert cfg.successors[1] == [2]
+    assert cfg.successors[2] == []  # HALT ends execution
+    assert all(edge.kind == "fall" for edge in cfg.edges)
+
+
+def test_branch_has_fall_and_target_edges():
+    program = Program("diamond")
+    program.append(li(Reg(1), 1))
+    program.append(branch(Opcode.BEQ, Reg(1), Imm(0), "merge"))
+    program.append(li(Reg(2), 2))
+    program.add_label("merge", 3)
+    program.append(halt())
+    cfg = build_cfg(program)
+    kinds = {(e.src, e.dst): e.kind for e in cfg.edges}
+    assert kinds[(1, 2)] == "fall"
+    assert kinds[(1, 3)] == "branch"
+    # The branch target starts a new block; so does the fallthrough.
+    assert cfg.block_of[0] == cfg.block_of[1]
+    assert cfg.block_of[2] != cfg.block_of[1]
+    assert cfg.block_of[3] != cfg.block_of[2]
+    merge = cfg.blocks[cfg.block_of[3]]
+    assert sorted(merge.predecessors) == sorted(
+        {cfg.block_of[1], cfg.block_of[2]}
+    )
+
+
+def test_jr_goes_to_every_return_site():
+    program = Program("calls")
+    program.add_label("sub", 3)
+    program.append(Instruction(Opcode.JAL, dest=Reg(7), target="sub"))
+    program.append(Instruction(Opcode.JAL, dest=Reg(7), target="sub"))
+    program.append(halt())
+    program.append(Instruction(Opcode.JR, srcs=(Reg(7),)))
+    cfg = build_cfg(program)
+    kinds = {(e.src, e.dst): e.kind for e in cfg.edges}
+    assert kinds[(0, 3)] == "call"
+    assert kinds[(1, 3)] == "call"
+    # JR is approximated by the pc after every JAL.
+    assert sorted(cfg.successors[3]) == [1, 2]
+    assert all(kinds[(3, dst)] == "return" for dst in cfg.successors[3])
+
+
+def amnesic_program() -> Program:
+    program = Program("amnesic")
+    program.append(li(Reg(1), 5))
+    program.append(rcmp(Reg(2), Reg(1), 0, slice_id=0, target="rslice_0"))
+    program.append(halt())
+    program.add_label("rslice_0", 3)
+    program.append(alu(Opcode.LI, SReg(0), Imm(7)))
+    program.append(rtn(0, SReg(0)))
+    program.register_slice(
+        SliceRegion(slice_id=0, entry_label="rslice_0", start=3, end=5, load_pc=1)
+    )
+    return program
+
+
+def test_rcmp_and_rtn_edges():
+    cfg = build_cfg(amnesic_program())
+    kinds = {(e.src, e.dst): e.kind for e in cfg.edges}
+    assert kinds[(1, 2)] == "fall"
+    assert kinds[(1, 3)] == "rcmp"
+    # The slice's RTN resumes at the RCMP's fallthrough.
+    assert kinds[(4, 2)] == "rtn"
+    # Slice regions form their own blocks.
+    assert cfg.block_of[3] == cfg.block_of[4]
+    assert cfg.block_of[2] != cfg.block_of[3]
+
+
+def test_off_end_transfers_are_recorded_not_fatal():
+    program = Program("off-end")
+    program.add_label("end", 2)
+    program.append(branch(Opcode.BEQ, Reg(1), Imm(0), "end"))
+    program.append(alu(Opcode.ADD, Reg(1), Reg(1), Imm(1)))
+    cfg = build_cfg(program)
+    # Both the branch (to pc 2 == size) and the trailing ALU fall off.
+    assert cfg.off_end == {0, 1}
+    assert all(edge.dst < 2 for edge in cfg.edges)
+
+
+def test_reaches_with_avoiding():
+    program = Program("path")
+    program.append(li(Reg(1), 1))
+    program.append(branch(Opcode.BEQ, Reg(1), Imm(0), "skip"))
+    program.append(li(Reg(2), 2))
+    program.add_label("skip", 3)
+    program.append(halt())
+    cfg = build_cfg(program)
+    assert cfg.reaches(0, 3)
+    assert cfg.reaches(0, 3, avoiding=2)  # the branch edge bypasses pc 2
+    assert not cfg.reaches(0, 2, avoiding=1)  # pc 1 is the only way in
+    assert cfg.reachable_pcs(0) == frozenset({0, 1, 2, 3})
+
+
+def _assert_cfg_invariants(program: Program) -> None:
+    cfg = build_cfg(program)
+    size = len(program.instructions)
+    # The blocks partition [0, size).
+    covered = sorted(pc for block in cfg.blocks for pc in block.pcs)
+    assert covered == list(range(size))
+    assert sorted(cfg.block_of) == list(range(size))
+    for block in cfg.blocks:
+        for pc in block.pcs:
+            assert cfg.block_of[pc] == block.index
+    # Every edge stays inside the program and matches the successor map.
+    for edge in cfg.edges:
+        assert 0 <= edge.src < size and 0 <= edge.dst < size
+        assert edge.dst in cfg.successors[edge.src]
+        assert edge.src in cfg.predecessors[edge.dst]
+    # Block successor lists agree with the last instruction's edges.
+    for block in cfg.blocks:
+        if block.start == block.end:
+            continue
+        expected = {cfg.block_of[dst] for dst in cfg.successors[block.end - 1]}
+        assert set(block.successors) == expected
+
+
+@pytest.mark.parametrize(
+    "entry", load_corpus(CORPUS_DIR), ids=lambda entry: entry.name
+)
+def test_cfg_on_every_corpus_program(entry):
+    """Satellite requirement: CFG construction over the whole seed corpus,
+
+    on both the original program and its compiled amnesic binary.
+    """
+    program = materialize(entry.spec)
+    _assert_cfg_invariants(program)
+    compilation = compile_amnesic(program, default_fuzz_model())
+    _assert_cfg_invariants(compilation.binary.program)

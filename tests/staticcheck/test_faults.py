@@ -1,0 +1,48 @@
+"""The deliberately broken passes are each caught by their expected rule."""
+
+import pytest
+
+from repro.staticcheck.diagnostics import RULES, Severity
+from repro.staticcheck.faults import BROKEN_PASSES
+from repro.staticcheck.lint import LintSettings, prove_rules
+
+CORPUS_DIR = "tests/corpus"
+
+EXPECTED = {
+    "alias-blind-deadstores": "DST300",
+    "amortization-dropping-coster": "CST200",
+    "clobber-blind-classifier": "SLC104",
+    "rec-misplacing-rewriter": "SLC103",
+}
+
+
+def test_registry_shape():
+    assert {name: rule for name, (rule, _) in BROKEN_PASSES.items()} == EXPECTED
+    for rule_id, _ in BROKEN_PASSES.values():
+        assert RULES[rule_id].severity is Severity.ERROR
+
+
+@pytest.fixture(scope="module")
+def outcomes():
+    settings = LintSettings(corpus_dir=CORPUS_DIR, prove_rules=True)
+    return prove_rules(settings)
+
+
+def test_every_broken_pass_is_caught(outcomes):
+    assert {o.name for o in outcomes} == set(EXPECTED)
+    for outcome in outcomes:
+        assert outcome.ok, (
+            f"broken pass {outcome.name} was not flagged with "
+            f"{outcome.expected_rule} on any corpus program "
+            f"({outcome.attempted} attempted)"
+        )
+        assert outcome.expected_rule == EXPECTED[outcome.name]
+        assert outcome.expected_rule in outcome.rules_seen
+
+
+def test_outcomes_serialize(outcomes):
+    for outcome in outcomes:
+        payload = outcome.to_json()
+        assert payload["ok"] is True
+        assert payload["pass"] == outcome.name
+        assert payload["triggered_on"] == outcome.triggered_on

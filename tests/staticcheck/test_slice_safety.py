@@ -1,0 +1,216 @@
+"""Slice-safety rules: clean artifacts verify, tampered ones are flagged."""
+
+import copy
+import dataclasses
+
+import pytest
+
+from repro.compiler.amnesic_pass import compile_amnesic
+from repro.compiler.cost import Cost
+from repro.compiler.deadstore import analysis_for_compilation
+from repro.fuzz.corpus import load_corpus
+from repro.fuzz.oracle import default_fuzz_model
+from repro.fuzz.spec import materialize
+from repro.isa import (
+    Imm,
+    Opcode,
+    Program,
+    Reg,
+    SReg,
+    SliceRegion,
+    alu,
+    branch,
+    halt,
+    li,
+    rcmp,
+    rtn,
+)
+from repro.staticcheck.rules import check_program, verify_compilation
+
+CORPUS_DIR = "tests/corpus"
+
+
+@pytest.fixture(scope="module")
+def model():
+    return default_fuzz_model()
+
+
+@pytest.fixture(scope="module")
+def compiled(model):
+    """One real artifact with Hist leaves (the clobbered-leaf corpus entry)."""
+    entry = next(
+        e for e in load_corpus(CORPUS_DIR) if e.name == "clobbered-leaf"
+    )
+    program = materialize(entry.spec)
+    compilation = compile_amnesic(program, model)
+    assert compilation.rslices, "fixture entry must select at least one slice"
+    return program, compilation
+
+
+def _tampered(compiled):
+    program, compilation = compiled
+    return program, copy.deepcopy(compilation)
+
+
+# ----------------------------------------------------------------------
+# Clean artifacts.
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "entry", load_corpus(CORPUS_DIR), ids=lambda entry: entry.name
+)
+def test_every_corpus_artifact_verifies_clean(entry, model):
+    program = materialize(entry.spec)
+    compilation = compile_amnesic(program, model)
+    report = verify_compilation(entry.name, program, compilation, model)
+    assert report.ok, "\n".join(str(f) for f in report.errors)
+
+
+# ----------------------------------------------------------------------
+# Program-level rules.
+# ----------------------------------------------------------------------
+def test_unreachable_code_is_an_info_finding():
+    program = Program("dead")
+    program.append(halt())
+    program.append(li(Reg(1), 1))  # unreachable
+    program.append(halt())
+    report = check_program("dead", program)
+    assert report.ok  # CFG001 is informational
+    assert "CFG001" in report.rule_ids()
+
+
+def test_fallthrough_into_slice_is_an_error():
+    program = Program("leaky")
+    program.append(li(Reg(1), 5))
+    program.append(rcmp(Reg(2), Reg(1), 0, slice_id=0, target="rslice_0"))
+    program.append(li(Reg(3), 1))  # falls through into the slice body
+    program.add_label("rslice_0", 3)
+    program.append(alu(Opcode.LI, SReg(0), Imm(7)))
+    program.append(rtn(0, SReg(0)))
+    program.register_slice(
+        SliceRegion(slice_id=0, entry_label="rslice_0", start=3, end=5, load_pc=1)
+    )
+    report = check_program("leaky", program)
+    assert not report.ok
+    assert "CFG002" in report.rule_ids()
+
+
+def test_off_end_branch_is_a_warning():
+    program = Program("off")
+    program.add_label("end", 2)
+    program.append(branch(Opcode.BEQ, Reg(1), Imm(0), "end"))
+    program.append(halt())
+    report = check_program("off", program)
+    assert report.ok  # warnings do not gate
+    assert "CFG003" in report.rule_ids()
+
+
+# ----------------------------------------------------------------------
+# Tampered artifacts: each mutation trips its rule.
+# ----------------------------------------------------------------------
+def _rules_after(program, compilation, model, deadstores=None):
+    report = verify_compilation(
+        "tampered", program, compilation, model, deadstores=deadstores
+    )
+    assert not report.ok
+    return report.rule_ids()
+
+
+def test_mutated_main_instruction_trips_rewrite_shape(compiled, model):
+    program, compilation = _tampered(compiled)
+    binary = compilation.binary.program
+    swapped = set(compilation.swapped_load_pcs)
+    pc = next(
+        pc
+        for pc, ins in enumerate(binary.instructions)
+        if binary.slice_containing(pc) is None
+        and ins.opcode is Opcode.ADD
+        and pc not in swapped
+    )
+    original = binary.instructions[pc]
+    binary.instructions[pc] = dataclasses.replace(original, opcode=Opcode.SUB)
+    assert "SLC105" in _rules_after(program, compilation, model)
+
+
+def test_dropped_rec_trips_slice_closure(compiled, model):
+    program, compilation = _tampered(compiled)
+    binary = compilation.binary.program
+    rec_pc = next(
+        pc
+        for pc, ins in enumerate(binary.instructions)
+        if ins.opcode is Opcode.REC
+    )
+    del binary.instructions[rec_pc]
+    # Dropping an instruction shifts every later pc; labels and regions
+    # now lie, so expect the shape/closure family to object loudly.
+    rules = _rules_after(program, compilation, model)
+    assert "SLC103" in rules or "SLC105" in rules
+
+
+def test_corrupted_slice_body_trips_region_rules(compiled, model):
+    program, compilation = _tampered(compiled)
+    binary = compilation.binary.program
+    region = next(iter(binary.slices.values()))
+    # Return a scratch register the slice never defined.
+    binary.instructions[region.end - 1] = rtn(region.slice_id, SReg(97))
+    rules = _rules_after(program, compilation, model)
+    assert "SLC101" in rules
+
+
+def test_rewired_region_owner_trips_rcmp_wiring(compiled, model):
+    program, compilation = _tampered(compiled)
+    binary = compilation.binary.program
+    region = next(iter(binary.slices.values()))
+    region.load_pc = region.load_pc + 1
+    rules = _rules_after(program, compilation, model)
+    assert "SLC102" in rules
+
+
+def test_lowering_divergence_trips_slc106(compiled, model):
+    program, compilation = _tampered(compiled)
+    binary = compilation.binary.program
+    region = next(iter(binary.slices.values()))
+    body_pc = region.start
+    instruction = binary.instructions[body_pc]
+    binary.instructions[body_pc] = dataclasses.replace(
+        instruction, dest=SReg(83)
+    )
+    rules = _rules_after(program, compilation, model)
+    assert "SLC106" in rules
+
+
+def test_forged_cost_trips_cst200(compiled, model):
+    program, compilation = _tampered(compiled)
+    rslice = compilation.rslices[0]
+    forged = Cost(
+        energy_nj=rslice.selection_cost.energy_nj * 2,
+        time_ns=rslice.selection_cost.time_ns,
+    )
+    compilation.rslices[0] = dataclasses.replace(rslice, selection_cost=forged)
+    assert "CST200" in _rules_after(program, compilation, model)
+
+
+def test_tightened_bounds_trip_cst201(compiled, model):
+    program, compilation = _tampered(compiled)
+    compilation.options = dataclasses.replace(compilation.options, max_nodes=0)
+    assert "CST201" in _rules_after(program, compilation, model)
+
+
+def test_stale_deadstore_swap_set_trips_dst300(compiled, model):
+    program, compilation = _tampered(compiled)
+    analysis = analysis_for_compilation(compilation)
+    stale = dataclasses.replace(analysis, swapped_load_pcs=frozenset())
+    assert "DST300" in _rules_after(
+        program, compilation, model, deadstores=stale
+    )
+
+
+def test_budget_violation_trips_cst200(compiled, model):
+    program, compilation = _tampered(compiled)
+    rslice = compilation.rslices[0]
+    # Claim the load was nearly free: selection can no longer beat it.
+    cheap = Cost(energy_nj=0.0, time_ns=0.0)
+    compilation.rslices[0] = dataclasses.replace(
+        rslice, estimated_load_cost=cheap
+    )
+    assert compilation.options.selection == "probabilistic"
+    assert "CST200" in _rules_after(program, compilation, model)
