@@ -27,13 +27,15 @@ from .paper_reference import FidelityMetric
 
 #: Bump on any change to the artifact field layout or metric semantics.
 #: Version 2 added the top-level ``provenance`` block (git revision,
-#: python, platform, backend); version-1 artifacts still load, with the
-#: block synthesised from their environment fingerprint, so committed
-#: baselines keep gating new runs across the bump.
-BENCH_SCHEMA_VERSION = 2
+#: python, platform, backend); version 3 added the untraced-execution
+#: throughput block (``untraced_s`` / ``untraced_instructions`` /
+#: ``untraced_ips``).  Older artifacts still load — missing fields
+#: default (version 3's to zero, meaning "not measured") — so committed
+#: baselines keep gating new runs across the bumps.
+BENCH_SCHEMA_VERSION = 3
 
 #: Schema versions :meth:`BenchArtifact.from_json` accepts.
-COMPATIBLE_SCHEMA_VERSIONS = frozenset({1, BENCH_SCHEMA_VERSION})
+COMPATIBLE_SCHEMA_VERSIONS = frozenset({1, 2, BENCH_SCHEMA_VERSION})
 
 
 @dataclasses.dataclass
@@ -57,6 +59,14 @@ class BenchReport:
     #: Hit fraction over both layers' lookups, or ``None`` with none.
     cache_hit_rate: Optional[float]
     fidelity: List[FidelityMetric]
+    #: Untraced-execution throughput: self time and instructions summed
+    #: over ``execute.*`` spans whose runs carried no tracer, timeline,
+    #: or profiler — the backend's raw interpreter speed, undiluted by
+    #: instrumented profiling runs.  Zero means "not measured" (an
+    #: artifact written before schema 3, or a fully cached experiment).
+    untraced_s: float = 0.0
+    untraced_instructions: int = 0
+    untraced_ips: float = 0.0
 
     @property
     def fidelity_failures(self) -> List[FidelityMetric]:

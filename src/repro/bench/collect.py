@@ -92,10 +92,12 @@ class BenchRunner:
             report = run_experiment(experiment_id, self.runner)
             wall_s = self._clock() - started
             registry = telemetry.registry
+            tree = telemetry.tracer.tree()
             phases = {
                 total.name: {"self_s": total.self_time_s, "count": total.count}
-                for total in phase_totals(telemetry.tracer.tree())
+                for total in phase_totals(tree)
             }
+            untraced_s, untraced_instructions = _untraced_execution(tree)
             instructions = int(sum(
                 series.value
                 for series in registry.series("runstats.dynamic_instructions")
@@ -120,7 +122,36 @@ class BenchRunner:
             cache=caches,
             cache_hit_rate=cache_hit_rate(combined),
             fidelity=fidelity_metrics(report),
+            untraced_s=untraced_s,
+            untraced_instructions=untraced_instructions,
+            untraced_ips=(
+                untraced_instructions / untraced_s if untraced_s > 0 else 0.0
+            ),
         )
+
+
+def _untraced_execution(tree) -> tuple:
+    """``(self seconds, instructions)`` over untraced ``execute.*`` spans.
+
+    Untraced runs (no tracer, timeline, or hot-loop profiler attached)
+    are where a backend's dispatch loop actually runs at full speed —
+    instrumented profiling runs all fall back to per-instruction loops,
+    so including them would mask run-loop differences between backends.
+    With ``jobs > 1`` worker-side spans cannot be merged into the
+    parent's forest (same limitation as the phase timings above), so
+    the totals only cover in-process runs.
+    """
+    seconds = 0.0
+    instructions = 0
+    for root in tree:
+        for node in root.walk():
+            if not node.name.startswith("execute."):
+                continue
+            if node.span.attrs.get("mode") != "untraced":
+                continue
+            seconds += node.self_time_s
+            instructions += int(node.span.attrs.get("instructions", 0))
+    return seconds, instructions
 
 
 def manifest_from_artifact(

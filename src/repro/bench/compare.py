@@ -237,6 +237,17 @@ def compare(
                 timing_noise, timing_floor_s, higher_is_better=True,
             )
         )
+        if old.untraced_ips > 0 and new.untraced_ips > 0:
+            # Pre-schema-3 artifacts carry no untraced block (zero
+            # means "not measured"), so the verdict only exists when
+            # both sides actually measured it.
+            verdicts.append(
+                _timing_verdict(
+                    f"{experiment_id}/untraced_ips",
+                    old.untraced_ips, new.untraced_ips,
+                    timing_noise, timing_floor_s, higher_is_better=True,
+                )
+            )
         for phase in sorted(set(old.phases) & set(new.phases)):
             verdicts.append(
                 _timing_verdict(

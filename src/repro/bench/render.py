@@ -30,6 +30,8 @@ def render_bench_report(artifact: BenchArtifact) -> str:
                 experiment_id,
                 f"{report.wall_s:.2f}",
                 f"{report.throughput_ips:,.0f}",
+                "-" if report.untraced_ips <= 0
+                else f"{report.untraced_ips:,.0f}",
                 "-" if report.cache_hit_rate is None
                 else f"{100 * report.cache_hit_rate:.0f}%",
                 sum(report.rcmp.values()),
@@ -38,8 +40,8 @@ def render_bench_report(artifact: BenchArtifact) -> str:
             ]
         )
     table = render_table(
-        ["experiment", "wall s", "instr/s", "cache hits", "RCMPs",
-         "fidelity metrics", "out-of-tolerance"],
+        ["experiment", "wall s", "instr/s", "untraced instr/s",
+         "cache hits", "RCMPs", "fidelity metrics", "out-of-tolerance"],
         rows, title="bench summary",
     )
     env = artifact.environment

@@ -479,6 +479,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", choices=("text", "json"), default="text",
         help="output format (json is stable for scripting)",
     )
+    fuzz_cmd.add_argument(
+        "--backend", choices=BACKEND_NAMES, default=None,
+        help="amnesic scheduler under test (default: $REPRO_BACKEND or "
+             "classic); the oracle baseline always runs classic",
+    )
     _add_telemetry_flags(fuzz_cmd)
     fuzz_cmd.set_defaults(handler=cmd_fuzz)
 
@@ -1156,8 +1161,10 @@ def cmd_bench(args) -> int:
 
 def cmd_fuzz(args) -> int:
     """Run a differential fuzz campaign (or replay the corpus)."""
+    from .core.backend import resolve_backend
     from .fuzz import FuzzConfig, materialize, replay_corpus, run_fuzz
 
+    amnesic_cls = resolve_backend(args.backend).amnesic_cls
     policies = None
     if args.policies:
         policies = tuple(
@@ -1176,7 +1183,9 @@ def cmd_fuzz(args) -> int:
         if not args.corpus_dir:
             print("--replay requires --corpus-dir", file=sys.stderr)
             return 2
-        report = replay_corpus(args.corpus_dir, policies=policies)
+        report = replay_corpus(
+            args.corpus_dir, policies=policies, cpu_cls=amnesic_cls
+        )
         if args.format == "json":
             payload = {
                 "entries": len(report.verdicts),
@@ -1204,6 +1213,7 @@ def cmd_fuzz(args) -> int:
         policies=policies or POLICY_NAMES,
         shrink=not args.no_shrink,
         max_counterexamples=args.max_counterexamples,
+        cpu_cls=amnesic_cls,
     )
     result = run_fuzz(config)
     if args.format == "json":

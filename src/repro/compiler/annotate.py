@@ -56,7 +56,13 @@ class SliceInfo:
 
     @property
     def length(self) -> int:
-        return self.rslice.length
+        # The slice tree is immutable once annotation built this info,
+        # but RSlice.length walks it; the scheduler reads length on
+        # every RCMP decision record, so count once and keep it.
+        cached: Optional[int] = self.__dict__.get("_length")
+        if cached is None:
+            cached = self.__dict__["_length"] = self.rslice.length
+        return cached
 
 
 @dataclasses.dataclass

@@ -5,7 +5,9 @@ for amnesic binaries — that agree bit-for-bit on architectural state,
 RunStats, hierarchy state, and energy accounts.  ``classic`` is the
 reference implementation in :mod:`repro.machine.cpu` /
 :mod:`repro.core.amnesic_cpu`; ``fast`` layers the predecoded dispatch
-loop of :mod:`repro.machine.fastpath` over the same handlers.  The fuzz
+loop of :mod:`repro.machine.fastpath` over the same handlers;
+``fast-batched`` additionally fuses statically-proven straight-line
+regions (:mod:`repro.staticcheck.regions`) into single dispatches.  The fuzz
 oracle's backend check (:func:`repro.fuzz.oracle.check_backend_equivalence`)
 holds the pair to exact equivalence, the same way the differential
 oracle holds amnesic execution to the classic baseline.
@@ -22,7 +24,12 @@ import os
 from typing import Optional, Tuple, Type
 
 from ..machine.cpu import CPU
-from ..machine.fastpath import FastCPU, FastExecutionMixin
+from ..machine.fastpath import (
+    BatchedExecutionMixin,
+    BatchedFastCPU,
+    FastCPU,
+    FastExecutionMixin,
+)
 from .amnesic_cpu import AmnesicCPU
 
 #: Environment variable consulted when no explicit backend is passed.
@@ -42,6 +49,16 @@ class FastAmnesicCPU(FastExecutionMixin, AmnesicCPU):
     """
 
 
+class BatchedFastAmnesicCPU(BatchedExecutionMixin, AmnesicCPU):
+    """The region-batched fast backend for amnesic binaries.
+
+    Straight-line runs between amnesic/control opcodes fuse into single
+    dispatches (the region analyzer never batches across RCMP/REC/RTN),
+    while the amnesic machinery itself executes through the same
+    specialized/thunked closures as :class:`FastAmnesicCPU`.
+    """
+
+
 @dataclasses.dataclass(frozen=True)
 class Backend:
     """One named execution backend."""
@@ -54,6 +71,7 @@ class Backend:
 BACKENDS = {
     "classic": Backend("classic", CPU, AmnesicCPU),
     "fast": Backend("fast", FastCPU, FastAmnesicCPU),
+    "fast-batched": Backend("fast-batched", BatchedFastCPU, BatchedFastAmnesicCPU),
 }
 
 BACKEND_NAMES: Tuple[str, ...] = tuple(BACKENDS)
@@ -78,6 +96,7 @@ __all__ = [
     "DEFAULT_BACKEND",
     "ENV_BACKEND",
     "Backend",
+    "BatchedFastAmnesicCPU",
     "FastAmnesicCPU",
     "resolve_backend",
 ]

@@ -62,23 +62,43 @@ class Decision:
     probe_hit_level: Optional[Level] = None
 
 
+#: ``{(session id, policy, series key): Counter}`` — decision metering
+#: runs once per RCMP, so the registry's label normalisation is cached
+#: per telemetry session.  Keyed by the session object itself (weakly,
+#: via id + identity check) so a fresh session re-resolves.
+_DECISION_METERS: dict = {}
+
+
+def _decision_counter(telemetry, policy_name: str, key: str, labels: dict):
+    cache = _DECISION_METERS
+    session, counters = cache.get("entry", (None, None))
+    if session is not telemetry:
+        counters = {}
+        cache["entry"] = (telemetry, counters)
+    counter = counters.get((policy_name, key))
+    if counter is None:
+        counter = counters[(policy_name, key)] = telemetry.counter(
+            f"policy.{key.split('/', 1)[0]}", policy=policy_name, **labels
+        )
+    return counter
+
+
 def _count_decision(policy_name: str, decision: Decision) -> Decision:
     """Meter one scheduler verdict; free when telemetry is disabled."""
     telemetry = get_telemetry()
     if not telemetry.enabled:
         return decision
-    telemetry.counter(
-        "policy.decisions",
-        policy=policy_name,
-        verdict="fire" if decision.fire else "skip",
+    verdict = "fire" if decision.fire else "skip"
+    _decision_counter(
+        telemetry, policy_name, f"decisions/{verdict}", {"verdict": verdict}
     ).inc()
     if decision.probe_hit_level is not None:
-        telemetry.counter(
-            "policy.probe_hits", policy=policy_name,
-            level=decision.probe_hit_level.value,
+        level = decision.probe_hit_level.value
+        _decision_counter(
+            telemetry, policy_name, f"probe_hits/{level}", {"level": level}
         ).inc()
     elif decision.probe_cost is not None:
-        telemetry.counter("policy.probe_misses", policy=policy_name).inc()
+        _decision_counter(telemetry, policy_name, "probe_misses", {}).inc()
     return decision
 
 

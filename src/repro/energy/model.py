@@ -73,6 +73,25 @@ class EnergyModel:
     # ------------------------------------------------------------------
     # Classic events.
     # ------------------------------------------------------------------
+    def _memo(self, key, build) -> Cost:
+        """Per-instance memo for the fixed-price events.
+
+        Every input is frozen, so each (category, event) prices
+        identically for the model's lifetime; the hot interpreter loops
+        (one ``compute_cost`` per retired instruction, one
+        ``slice_instruction_cost`` per recomputed one) then skip the
+        dict lookups and ``Cost`` construction.  ``Cost`` is frozen
+        too, so sharing one instance across call sites is safe.
+        """
+        cache = self.__dict__.get("_cost_memo")
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_cost_memo", cache)
+        cost = cache.get(key)
+        if cost is None:
+            cost = cache[key] = build()
+        return cost
+
     def compute_cost(self, category: Category) -> Cost:
         """Cost of one non-memory instruction: EPI + its cycle count.
 
@@ -80,8 +99,13 @@ class EnergyModel:
         take their classic multi-cycle latencies (see
         :data:`repro.energy.epi.LATENCY_CYCLES`).
         """
-        cycles = LATENCY_CYCLES.get(category, 1)
-        return Cost(self.epi.epi(category), cycles * self.config.cycle_ns)
+        return self._memo(
+            category,
+            lambda: Cost(
+                self.epi.epi(category),
+                LATENCY_CYCLES.get(category, 1) * self.config.cycle_ns,
+            ),
+        )
 
     def access_cost(self, access: Access) -> Cost:
         """Cost of a performed load/store as priced by the hierarchy."""
@@ -98,22 +122,36 @@ class EnergyModel:
     # ------------------------------------------------------------------
     def rcmp_cost(self) -> Cost:
         """RCMP overhead, modelled after a conditional branch."""
-        return Cost(self.epi.epi(Category.BRANCH), self.config.cycle_ns)
+        return self._memo(
+            "rcmp",
+            lambda: Cost(self.epi.epi(Category.BRANCH), self.config.cycle_ns),
+        )
 
     def rec_cost(self) -> Cost:
         """REC overhead, modelled after a store to L1-D."""
-        return Cost(
-            self.config.l1_params.write_energy_nj, self.config.l1_params.latency_ns
+        return self._memo(
+            "rec",
+            lambda: Cost(
+                self.config.l1_params.write_energy_nj,
+                self.config.l1_params.latency_ns,
+            ),
         )
 
     def rtn_cost(self) -> Cost:
         """RTN overhead, modelled after a jump."""
-        return Cost(self.epi.epi(Category.JUMP), self.config.cycle_ns)
+        return self._memo(
+            "rtn",
+            lambda: Cost(self.epi.epi(Category.JUMP), self.config.cycle_ns),
+        )
 
     def hist_read_cost(self) -> Cost:
         """One Hist read, conservatively modelled after L1-D."""
-        return Cost(
-            self.config.l1_params.read_energy_nj, self.config.l1_params.latency_ns
+        return self._memo(
+            "hist_read",
+            lambda: Cost(
+                self.config.l1_params.read_energy_nj,
+                self.config.l1_params.latency_ns,
+            ),
         )
 
     def slice_instruction_cost(self, category: Category) -> Cost:
@@ -123,8 +161,11 @@ class EnergyModel:
         classic counterpart" (paper section 3.5): category EPI + cycle,
         plus the SFile traffic of its operands.
         """
-        base = self.compute_cost(category)
-        return Cost(base.energy_nj + SFILE_ACCESS_NJ, base.time_ns)
+        def build():
+            base = self.compute_cost(category)
+            return Cost(base.energy_nj + SFILE_ACCESS_NJ, base.time_ns)
+
+        return self._memo(("slice", category), build)
 
     # ------------------------------------------------------------------
     # Estimation helpers for the compiler's probabilistic model.

@@ -6,7 +6,12 @@ greedy spec shrinker, and the replayable regression corpus behind
 """
 
 from .corpus import CorpusEntry, load_corpus, load_entry, save_entry
-from .faults import EagerFireCPU, SkipHistReadCPU
+from .faults import (
+    EagerFireCPU,
+    LateFlushBatchedAmnesicCPU,
+    LateFlushBatchedCPU,
+    SkipHistReadCPU,
+)
 from .generator import generate_specs, program_seed, random_spec
 from .oracle import (
     OracleFailure,
@@ -33,6 +38,7 @@ from .spec import (
     ProgramSpec,
     Reload,
     Store,
+    Trap,
     materialize,
     validate_spec,
 )
@@ -46,6 +52,8 @@ __all__ = [
     "FuzzConfig",
     "FuzzResult",
     "Gap",
+    "LateFlushBatchedAmnesicCPU",
+    "LateFlushBatchedCPU",
     "OracleFailure",
     "OracleVerdict",
     "Produce",
@@ -55,6 +63,7 @@ __all__ = [
     "ShrinkResult",
     "SkipHistReadCPU",
     "Store",
+    "Trap",
     "check_backend_equivalence",
     "check_program",
     "check_spec",

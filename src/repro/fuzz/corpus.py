@@ -24,8 +24,14 @@ from typing import Iterable, List, Optional, Tuple, Union
 from ..errors import FuzzError
 from .spec import ProgramSpec
 
-#: Bumped when the entry envelope changes incompatibly.
+#: Bumped when the entry envelope changes incompatibly.  The
+#: ``max_instructions`` / ``expect`` fields are additive (readers
+#: default them), so they did not bump it.
 CORPUS_FORMAT_VERSION = 1
+
+#: Replay expectations (:attr:`CorpusEntry.expect`).
+EXPECT_OK = "ok"
+EXPECT_CLASSIC_FAULT = "classic-fault"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -37,6 +43,14 @@ class CorpusEntry:
     source: str = ""  # e.g. "repro fuzz --seed 7" or "hand-written"
     #: Restrict replay to these policies (None = all).
     policies: Optional[Tuple[str, ...]] = None
+    #: Override the replay instruction budget (None = the replay
+    #: default).  Budget-exhaustion entries need a budget small enough
+    #: to trip mid-run.
+    max_instructions: Optional[int] = None
+    #: What a healthy replay looks like: ``"ok"`` (the oracle passes) or
+    #: ``"classic-fault"`` (the classic run itself faults — the entry
+    #: exists to pin fault parity, so an *invalid* verdict is success).
+    expect: str = EXPECT_OK
 
     @property
     def name(self) -> str:
@@ -48,6 +62,8 @@ class CorpusEntry:
             "description": self.description,
             "source": self.source,
             "policies": list(self.policies) if self.policies else None,
+            "max_instructions": self.max_instructions,
+            "expect": self.expect,
             "spec": self.spec.to_json(),
         }
 
@@ -60,11 +76,19 @@ class CorpusEntry:
                 f"(expected {CORPUS_FORMAT_VERSION})"
             )
         policies = payload.get("policies")
+        expect = str(payload.get("expect", EXPECT_OK))
+        if expect not in (EXPECT_OK, EXPECT_CLASSIC_FAULT):
+            raise FuzzError(f"unknown corpus expectation {expect!r}")
+        max_instructions = payload.get("max_instructions")
         return cls(
             spec=ProgramSpec.from_json(payload["spec"]),
             description=str(payload.get("description", "")),
             source=str(payload.get("source", "")),
             policies=tuple(policies) if policies else None,
+            max_instructions=(
+                int(max_instructions) if max_instructions is not None else None
+            ),
+            expect=expect,
         )
 
 
@@ -130,6 +154,8 @@ def digests(entries: Iterable[CorpusEntry]) -> set:
 
 __all__ = [
     "CORPUS_FORMAT_VERSION",
+    "EXPECT_CLASSIC_FAULT",
+    "EXPECT_OK",
     "CorpusEntry",
     "corpus_paths",
     "digests",

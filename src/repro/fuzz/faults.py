@@ -1,18 +1,20 @@
-"""Deliberately broken schedulers for validating the oracle.
+"""Deliberately broken schedulers and batchers for validating the oracle.
 
 A differential fuzzer that has never caught a bug proves nothing.  These
-CPU variants inject known scheduler defects so the test suite can assert
-the whole loop end-to-end: the generator produces a program that
-exercises the broken path, the oracle flags the divergence, and the
-shrinker reduces it to a minimal counterexample.  They are shipped in
-the package (not buried in tests) so future scheduler work can re-run
-the same mutation check against new policies.
+CPU variants inject known defects so the test suite can assert the whole
+loop end-to-end: the generator produces a program that exercises the
+broken path, the oracle flags the divergence, and the shrinker reduces
+it to a minimal counterexample.  They are shipped in the package (not
+buried in tests) so future scheduler/backend work can re-run the same
+mutation check against new policies.
 """
 
 from __future__ import annotations
 
 from ..core.amnesic_cpu import AmnesicCPU
 from ..core.hist import HistoryTable
+from ..machine.cpu import CPU
+from ..machine.fastpath import BatchedExecutionMixin
 
 
 class _ZeroReadHist(HistoryTable):
@@ -58,4 +60,36 @@ class EagerFireCPU(AmnesicCPU):
         return True
 
 
-__all__ = ["EagerFireCPU", "SkipHistReadCPU"]
+class _LateFlushMixin(BatchedExecutionMixin):
+    """Bug: a fused region's count flush stops short across a fault.
+
+    Classic counts an instruction *before* executing it, so when element
+    ``completed`` of a fused region faults, that element must still be
+    counted.  This batcher flushes only the elements that finished —
+    exactly the off-by-one a hand-rolled batching loop is most likely to
+    get wrong — so ``dynamic_instructions`` and ``by_category`` come up
+    one short on any mid-region fault while registers, memory, and the
+    fault itself stay classic-identical.  The equivalence oracle and the
+    fastpath-region suite must both catch it.
+    """
+
+    @staticmethod
+    def _region_partial_flush(counts, start, completed):
+        for offset in range(1, completed):
+            counts[start + offset] += 1
+
+
+class LateFlushBatchedCPU(_LateFlushMixin, CPU):
+    """The broken batcher over classic semantics."""
+
+
+class LateFlushBatchedAmnesicCPU(_LateFlushMixin, AmnesicCPU):
+    """The broken batcher over amnesic binaries."""
+
+
+__all__ = [
+    "EagerFireCPU",
+    "LateFlushBatchedAmnesicCPU",
+    "LateFlushBatchedCPU",
+    "SkipHistReadCPU",
+]

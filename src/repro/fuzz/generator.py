@@ -27,6 +27,7 @@ from .spec import (
     Reload,
     Statement,
     Store,
+    Trap,
 )
 
 #: Temps the generator spills from (``v`` is reserved for reloads).
@@ -139,6 +140,19 @@ def random_spec(
                 op=rng.choice(("add", "xor", "max")),
             )
         )
+
+    # Occasionally schedule an arithmetic fault inside the loop body —
+    # sometimes live (at < iterations: the classic run faults mid-region
+    # and every backend must match it exactly), sometimes dormant (the
+    # DIV still forces the batcher's faulting-region fallback).
+    if produced and rng.random() < 0.12:
+        live = rng.random() < 0.5
+        at = (
+            rng.randrange(iterations)
+            if live
+            else iterations + rng.randint(0, 3)
+        )
+        statements.append(Trap(temp=rng.choice(produced), at=at))
 
     return ProgramSpec(
         name=name or f"fuzz-{seed}",

@@ -387,8 +387,9 @@ def check_backend_equivalence(
     model: Optional[EnergyModel] = None,
     policies: Sequence[str] = POLICY_NAMES,
     max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+    backend: object = "fast",
 ) -> OracleVerdict:
-    """Hold the fast backend to the classic interpreter, exactly.
+    """Hold a non-classic backend to the classic interpreter, exactly.
 
     The same differential idea as :func:`check_program`, but the pair
     under test is the execution *backend* rather than the execution
@@ -405,9 +406,19 @@ def check_backend_equivalence(
     Failures carry kind ``"backend"``; the policy field is ``classic``
     for the plain-interpreter comparison and the policy name for the
     amnesic ones.
-    """
-    from ..core.backend import BACKENDS
 
+    ``backend`` picks the backend under test: a registry name
+    (``"fast"``, ``"fast-batched"``) or a ``Backend`` instance — the
+    latter is how the broken-batcher proof tests hand the oracle a
+    deliberately wrong implementation.
+    """
+    from ..core.backend import BACKENDS, Backend
+
+    if isinstance(backend, str):
+        backend = BACKENDS[backend]
+    if not isinstance(backend, Backend):
+        raise TypeError(f"backend must be a name or Backend, got {backend!r}")
+    under_test: Backend = backend
     model = model or default_fuzz_model()
     verdict = OracleVerdict(
         spec=spec,
@@ -419,8 +430,8 @@ def check_backend_equivalence(
     def run_both(label: str, make_cpu) -> Optional[Tuple]:
         """Run under both backends; report fault divergence; return CPUs."""
         outcomes = []
-        for backend in (BACKENDS["classic"], BACKENDS["fast"]):
-            cpu = make_cpu(backend)
+        for pick in (BACKENDS["classic"], under_test):
+            cpu = make_cpu(pick)
             error = None
             try:
                 cpu.run()
@@ -434,7 +445,7 @@ def check_backend_equivalence(
                     label,
                     "backend",
                     f"classic raised {classic_error!r}, "
-                    f"fast raised {fast_error!r}",
+                    f"{under_test.name} raised {fast_error!r}",
                 )
             )
             return None
@@ -448,7 +459,7 @@ def check_backend_equivalence(
                         label,
                         "backend",
                         f"{what} diverged: classic {expected!r}, "
-                        f"fast {actual!r}",
+                        f"{under_test.name} {actual!r}",
                     )
                 )
 

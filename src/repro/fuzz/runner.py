@@ -24,7 +24,7 @@ from ..core.amnesic_cpu import AmnesicCPU
 from ..core.policies import POLICY_NAMES
 from ..energy import EnergyModel
 from ..telemetry.runtime import get_telemetry
-from .corpus import CorpusEntry, load_corpus, save_entry
+from .corpus import EXPECT_CLASSIC_FAULT, CorpusEntry, load_corpus, save_entry
 from .generator import program_seed, random_spec
 from .oracle import (
     DEFAULT_MAX_INSTRUCTIONS,
@@ -225,6 +225,20 @@ def _reduce_and_bank(
     )
 
 
+def entry_satisfied(entry: CorpusEntry, verdict: OracleVerdict) -> bool:
+    """Did *verdict* match the entry's committed expectation?
+
+    Most entries expect a clean oracle pass.  ``expect="classic-fault"``
+    entries (budget exhaustion, scheduled traps) exist to pin fault
+    parity: the classic run faults, the oracle reports *invalid*, and
+    success means it got there with zero failures — a backend that
+    faults differently produces a failure before the invalid marker.
+    """
+    if entry.expect == EXPECT_CLASSIC_FAULT:
+        return verdict.invalid and not verdict.failures
+    return verdict.ok
+
+
 @dataclasses.dataclass
 class ReplayReport:
     """Verdicts of one corpus replay, failures first when rendering."""
@@ -233,7 +247,9 @@ class ReplayReport:
 
     @property
     def failures(self) -> List[Tuple[CorpusEntry, OracleVerdict]]:
-        return [(e, v) for e, v in self.verdicts if not v.ok]
+        return [
+            (e, v) for e, v in self.verdicts if not entry_satisfied(e, v)
+        ]
 
     @property
     def ok(self) -> bool:
@@ -259,11 +275,11 @@ def replay_corpus(
             model=model,
             policies=policies or entry.policies or POLICY_NAMES,
             cpu_cls=cpu_cls,
-            max_instructions=max_instructions,
+            max_instructions=entry.max_instructions or max_instructions,
         )
         telemetry.counter(
             "fuzz.corpus.replayed",
-            result="ok" if verdict.ok else "failed",
+            result="ok" if entry_satisfied(entry, verdict) else "failed",
         ).inc()
         verdicts.append((entry, verdict))
     return ReplayReport(verdicts=verdicts)

@@ -20,8 +20,10 @@ Every construct maps onto a scenario the AMNESIAC compiler and
 scheduler must survive: chains become recomputation slices, strided
 stores create store-to-load aliasing, clobbers force Hist checkpoints,
 read-only-table loads become non-recomputable (checkpoint-load) leaves,
-gaps evict lines so probing policies actually fire, and carries create
-loop-carried dependences with unstable producer templates.
+gaps evict lines so probing policies actually fire, carries create
+loop-carried dependences with unstable producer templates, and traps
+schedule an arithmetic fault for a chosen iteration so execution
+backends must keep mid-region fault state classic-exact.
 """
 
 from __future__ import annotations
@@ -161,7 +163,25 @@ class Carry:
     kind: str = dataclasses.field(default="carry", init=False)
 
 
-Statement = Union[Produce, Store, Clobber, Gap, Reload, Carry]
+@dataclasses.dataclass(frozen=True)
+class Trap:
+    """``temp = temp / (i - at)`` — an arithmetic fault on iteration ``at``.
+
+    Lowers to ``SUB a, i, at; DIV temp, temp, a``, so the divisor hits
+    zero exactly when the loop counter reaches ``at``.  This is the
+    batching-adversarial statement: the DIV sits inside a straight-line
+    run, so a region-batching backend must either fall back (the run's
+    region is ``faulting``) or fault mid-region with classic-exact
+    instruction counts and pc.  ``at >= iterations`` never fires — the
+    spec runs clean but still forces the faulting-region fallback.
+    """
+
+    temp: str
+    at: int = 0
+    kind: str = dataclasses.field(default="trap", init=False)
+
+
+Statement = Union[Produce, Store, Clobber, Gap, Reload, Carry, Trap]
 
 _STATEMENT_TYPES: Dict[str, type] = {
     "produce": Produce,
@@ -170,6 +190,7 @@ _STATEMENT_TYPES: Dict[str, type] = {
     "gap": Gap,
     "reload": Reload,
     "carry": Carry,
+    "trap": Trap,
 }
 
 
@@ -313,6 +334,11 @@ def _validate_statement(statement: Statement, spec: ProgramSpec) -> None:
             )
         if statement.op not in CHAIN_OPCODES:
             raise FuzzError(f"unknown carry opcode {statement.op!r}")
+    elif isinstance(statement, Trap):
+        if statement.temp not in TEMP_NAMES:
+            raise FuzzError(f"unknown temp {statement.temp!r}")
+        if statement.at < 0:
+            raise FuzzError(f"trap iteration must be >= 0, got {statement.at}")
     else:  # pragma: no cover - the union is exhaustive
         raise FuzzError(f"unknown statement {statement!r}")
 
@@ -362,6 +388,9 @@ def _temps_read_before_written(spec: ProgramSpec) -> List[str]:
         elif isinstance(statement, Carry):
             read(statement.temp)
             read(statement.source)
+            written.add(statement.temp)
+        elif isinstance(statement, Trap):
+            read(statement.temp)
             written.add(statement.temp)
     return needs_init
 
@@ -455,6 +484,11 @@ def materialize(spec: ProgramSpec) -> Program:
                 b.op(
                     CHAIN_OPCODES[statement.op], t, t, b.reg(statement.source)
                 )
+            elif isinstance(statement, Trap):
+                t = b.reg(statement.temp)
+                a = b.reg("a")
+                b.sub(a, i, statement.at)
+                b.op(Opcode.DIV, t, t, a)
 
     if spec.emit_output and uses_sink:
         out = b.reserve(1)

@@ -11,13 +11,20 @@ from .config import (
     paper_geometry,
 )
 from .cpu import DEFAULT_MAX_INSTRUCTIONS, CPU
-from .fastpath import FastCPU, FastExecutionMixin
+from .fastpath import (
+    BatchedExecutionMixin,
+    BatchedFastCPU,
+    FastCPU,
+    FastExecutionMixin,
+)
 from .hierarchy import Access, HierarchyStats, MemoryHierarchy
 from .memory import Memory
 from .stats import RunStats
 
 __all__ = [
     "Access",
+    "BatchedExecutionMixin",
+    "BatchedFastCPU",
     "CPU",
     "Cache",
     "CacheGeometry",

@@ -146,7 +146,19 @@ class CPU:
         telemetry = get_telemetry()
         profiler = telemetry.active_profiler()
         self._timeline = telemetry.open_timeline(self)
-        with telemetry.span(f"execute.{self.TELEMETRY_LABEL}") as span:
+        # Instrumented runs (tracer events, timeline sampling, hot-loop
+        # profiling) take per-instruction fallback loops; the ``mode``
+        # attribute lets the bench artifacts aggregate untraced
+        # execution throughput separately from instrumented runs.
+        traced = (
+            profiler is not None
+            or self.tracer is not None
+            or self._timeline is not None
+        )
+        with telemetry.span(
+            f"execute.{self.TELEMETRY_LABEL}",
+            mode="traced" if traced else "untraced",
+        ) as span:
             try:
                 if profiler is None:
                     self._run_loop()

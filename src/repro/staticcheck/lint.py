@@ -26,8 +26,9 @@ from ..compiler.amnesic_pass import CompilationResult, PassOptions, compile_amne
 from ..energy.model import EnergyModel
 from ..energy.tech import paper_energy_model
 from ..errors import ReproError
-from ..fuzz.corpus import load_corpus
+from ..fuzz.corpus import EXPECT_CLASSIC_FAULT, load_corpus
 from ..fuzz.oracle import check_spec, default_fuzz_model
+from ..fuzz.runner import entry_satisfied
 from ..fuzz.spec import materialize
 from ..isa.program import Program
 from ..telemetry.runtime import get_telemetry
@@ -233,6 +234,23 @@ def _lint_corpus(run: LintRun, settings: LintSettings, progress: Progress) -> No
     for entry in entries:
         name = entry.name
         program = materialize(entry.spec)
+        if entry.expect == EXPECT_CLASSIC_FAULT:
+            # The entry's classic run faults by design (scheduled trap,
+            # budget exhaustion), so there is no amnesic artifact to
+            # verify.  The entry exists to pin batching fault parity:
+            # analyze the *original* program's regions and, under
+            # --cross-check, require the dynamic oracle to reproduce the
+            # fault with zero equivalence failures.
+            result = _lint_expected_fault(name, program, settings)
+            get_telemetry().counter("lint.programs", kind=KIND_CORPUS).inc()
+            if settings.cross_check:
+                result.cross_check = _cross_check_expected_fault(
+                    result.report, entry, options
+                )
+            run.results.append(result)
+            if progress:
+                progress(f"corpus {name}: {_verdict(result.report)}")
+            continue
         result, compilation = lint_program(
             name,
             program,
@@ -248,6 +266,47 @@ def _lint_corpus(run: LintRun, settings: LintSettings, progress: Progress) -> No
         run.results.append(result)
         if progress:
             progress(f"corpus {name}: {_verdict(result.report)}")
+
+
+def _lint_expected_fault(
+    name: str, program: Program, settings: LintSettings
+) -> ProgramResult:
+    """Region-only lint for a corpus entry whose classic run faults."""
+    report = LintReport(program=name)
+    regions = analyze_regions(program)
+    report.add(D.REG400, describe(regions))
+    if settings.regions_out is not None:
+        write_region_artifact(settings.regions_out, regions)
+    _count_findings(report)
+    return ProgramResult(
+        name=name, kind=KIND_CORPUS, report=report, regions=regions
+    )
+
+
+def _cross_check_expected_fault(
+    report: LintReport, entry, options: PassOptions
+) -> str:
+    """An expected-fault entry agrees when the fault reproduces cleanly."""
+    verdict = check_spec(
+        entry.spec,
+        model=default_fuzz_model(),
+        options=options,
+        **({"policies": entry.policies} if entry.policies else {}),
+        **(
+            {"max_instructions": entry.max_instructions}
+            if entry.max_instructions
+            else {}
+        ),
+    )
+    if entry_satisfied(entry, verdict):
+        return AGREE
+    report.add(
+        D.XCK600,
+        f"expected a classic fault, dynamic oracle says: "
+        f"{verdict.summary()}",
+    )
+    _count_findings(report)
+    return STATIC_PASS_DYNAMIC_FAIL
 
 
 def _cross_check(report: LintReport, entry, options: PassOptions) -> str:

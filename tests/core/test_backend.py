@@ -7,26 +7,32 @@ from repro.core.backend import (
     BACKENDS,
     DEFAULT_BACKEND,
     ENV_BACKEND,
+    BatchedFastAmnesicCPU,
     FastAmnesicCPU,
     resolve_backend,
 )
 from repro.core.amnesic_cpu import AmnesicCPU
 from repro.machine import CPU, FastCPU
+from repro.machine.fastpath import BatchedFastCPU
 
 
-def test_registry_names_both_backends():
-    assert BACKEND_NAMES == ("classic", "fast")
+def test_registry_names_every_backend():
+    assert BACKEND_NAMES == ("classic", "fast", "fast-batched")
     assert BACKENDS["classic"].cpu_cls is CPU
     assert BACKENDS["classic"].amnesic_cls is AmnesicCPU
     assert BACKENDS["fast"].cpu_cls is FastCPU
     assert BACKENDS["fast"].amnesic_cls is FastAmnesicCPU
+    assert BACKENDS["fast-batched"].cpu_cls is BatchedFastCPU
+    assert BACKENDS["fast-batched"].amnesic_cls is BatchedFastAmnesicCPU
 
 
 def test_fast_classes_are_subclasses_of_the_reference_ones():
-    # The fast backend layers a loop over classic handlers; it must stay
-    # substitutable wherever the reference classes are expected.
+    # The fast backends layer loops over classic handlers; they must
+    # stay substitutable wherever the reference classes are expected.
     assert issubclass(FastCPU, CPU)
     assert issubclass(FastAmnesicCPU, AmnesicCPU)
+    assert issubclass(BatchedFastCPU, CPU)
+    assert issubclass(BatchedFastAmnesicCPU, AmnesicCPU)
 
 
 def test_explicit_name_wins(monkeypatch):

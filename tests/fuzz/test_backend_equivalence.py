@@ -1,12 +1,15 @@
-"""Classic-vs-fast backend equivalence over the regression corpus.
+"""Classic-vs-fast(-batched) backend equivalence over the corpus.
 
-Satellite of the fast-backend PR: every committed corpus entry replays
-through the fast backend and must match the classic interpreter on
-registers, the memory image, and the energy accounts — under plain
-classic semantics *and* under every amnesic policy.  A seeded
-``check_spec`` round additionally runs the standard amnesic-vs-classic
-oracle with the fast amnesic CPU substituted, pinning the two backends
-against each other through the full differential pipeline.
+Satellite of the fast-backend PRs: every committed corpus entry replays
+through each non-classic backend and must match the classic interpreter
+on registers, the memory image, and the energy accounts — under plain
+classic semantics *and* under every amnesic policy.  Entries that
+expect a classic fault (scheduled traps, tight budgets) must reproduce
+the fault with parity: an *invalid* verdict with zero failures.  A
+seeded ``check_spec`` round additionally runs the standard
+amnesic-vs-classic oracle with the fast amnesic CPU substituted,
+pinning the backends against each other through the full differential
+pipeline.
 """
 
 from pathlib import Path
@@ -23,12 +26,16 @@ from repro.fuzz import (
     load_entry,
     materialize,
 )
-from repro.fuzz.corpus import corpus_paths
+from repro.fuzz.corpus import EXPECT_CLASSIC_FAULT, corpus_paths
+from repro.fuzz.oracle import DEFAULT_MAX_INSTRUCTIONS
 
 CORPUS_DIR = Path(__file__).resolve().parent.parent / "corpus"
 
 #: Fixed seed so CI failures reproduce locally from the same specs.
 BACKEND_FUZZ_SEED = 0xA32E51AC
+
+#: Every backend that must match classic bit-for-bit.
+NON_CLASSIC_BACKENDS = ("fast", "fast-batched")
 
 
 def entry_ids():
@@ -40,16 +47,29 @@ def model():
     return default_fuzz_model()
 
 
+def assert_matches_expectation(entry, verdict):
+    if entry.expect == EXPECT_CLASSIC_FAULT:
+        assert verdict.invalid and not verdict.failures, (
+            f"{entry.name}: expected classic fault with backend parity, "
+            f"got {verdict.summary()}"
+        )
+    else:
+        assert verdict.ok, f"{entry.name}: {verdict.summary()}"
+
+
+@pytest.mark.parametrize("backend", NON_CLASSIC_BACKENDS)
 @pytest.mark.parametrize("path", corpus_paths(CORPUS_DIR), ids=entry_ids())
-def test_corpus_entry_matches_classic_under_fast_backend(path, model):
+def test_corpus_entry_matches_classic_under_backend(path, backend, model):
     entry = load_entry(path)
     verdict = check_backend_equivalence(
         materialize(entry.spec),
         spec=entry.spec,
         model=model,
         policies=entry.policies or POLICY_NAMES,
+        max_instructions=entry.max_instructions or DEFAULT_MAX_INSTRUCTIONS,
+        backend=backend,
     )
-    assert verdict.ok, f"{entry.name}: {verdict.summary()}"
+    assert_matches_expectation(entry, verdict)
 
 
 def test_seeded_fuzz_round_with_fast_amnesic_cpu(model):
@@ -66,22 +86,32 @@ def test_seeded_fuzz_round_with_fast_amnesic_cpu(model):
         except ReproError:
             continue
         verdict = check_spec(spec, model=model, cpu_cls=fast_amnesic)
-        assert verdict.ok, f"{spec.name}: {verdict.summary()}"
+        # A generated spec may carry a live trap; the classic fault makes
+        # it invalid, which says nothing about the backend under test.
+        assert verdict.ok or (verdict.invalid and not verdict.failures), (
+            f"{spec.name}: {verdict.summary()}"
+        )
         checked += 1
     assert checked >= 5, "seed produced too few materializable specs"
 
 
-def test_seeded_backend_equivalence_round(model):
-    # Direct classic-vs-fast differential over generated programs, under
-    # all five policies (the check runs each policy on both backends).
+@pytest.mark.parametrize("backend", NON_CLASSIC_BACKENDS)
+def test_seeded_backend_equivalence_round(backend, model):
+    # Direct classic-vs-backend differential over generated programs,
+    # under all five policies (the check runs each policy on both
+    # backends).
     checked = 0
     for spec in generate_specs(BACKEND_FUZZ_SEED + 1, 10):
         try:
             program = materialize(spec)
         except ReproError:
             continue
-        verdict = check_backend_equivalence(program, spec=spec, model=model)
-        assert verdict.ok, f"{spec.name}: {verdict.summary()}"
+        verdict = check_backend_equivalence(
+            program, spec=spec, model=model, backend=backend
+        )
+        assert verdict.ok or (verdict.invalid and not verdict.failures), (
+            f"{spec.name}: {verdict.summary()}"
+        )
         checked += 1
     assert checked >= 5, "seed produced too few materializable specs"
 
@@ -103,17 +133,18 @@ def test_compilation_identical_across_profiling_backends(model):
             classic = compile_amnesic(program, model, backend="classic")
         except ReproError:
             continue  # uncompilable spec; backend choice is moot
-        fast = compile_amnesic(program, model, backend="fast")
-        assert classic.swapped_load_pcs == fast.swapped_load_pcs, spec.name
-        assert classic.rejected == fast.rejected, spec.name
-        assert (
-            classic.binary.program.instructions
-            == fast.binary.program.instructions
-        ), spec.name
-        assert (
-            classic.profile.stats.dynamic_instructions
-            == fast.profile.stats.dynamic_instructions
-        ), spec.name
+        for backend in NON_CLASSIC_BACKENDS:
+            fast = compile_amnesic(program, model, backend=backend)
+            assert classic.swapped_load_pcs == fast.swapped_load_pcs, spec.name
+            assert classic.rejected == fast.rejected, spec.name
+            assert (
+                classic.binary.program.instructions
+                == fast.binary.program.instructions
+            ), spec.name
+            assert (
+                classic.profile.stats.dynamic_instructions
+                == fast.profile.stats.dynamic_instructions
+            ), spec.name
         checked += 1
     assert checked >= 4, "seed produced too few compilable specs"
 

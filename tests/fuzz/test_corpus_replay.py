@@ -18,6 +18,8 @@ from repro.fuzz import (
     materialize,
 )
 from repro.fuzz.corpus import corpus_paths
+from repro.fuzz.oracle import DEFAULT_MAX_INSTRUCTIONS
+from repro.fuzz.runner import entry_satisfied
 
 CORPUS_DIR = Path(__file__).resolve().parent.parent / "corpus"
 
@@ -45,8 +47,13 @@ def test_corpus_entry_replays_clean(path, model):
         entry.spec,
         model=model,
         policies=entry.policies or POLICY_NAMES,
+        max_instructions=entry.max_instructions or DEFAULT_MAX_INSTRUCTIONS,
     )
-    assert verdict.ok, f"{entry.name}: {verdict.summary()}"
+    # ``expect="classic-fault"`` entries replay to an invalid verdict
+    # (the classic run faults by design); everything else must be ok.
+    assert entry_satisfied(entry, verdict), (
+        f"{entry.name}: expected {entry.expect}, got {verdict.summary()}"
+    )
 
 
 def test_corpus_covers_the_tricky_shapes(model):

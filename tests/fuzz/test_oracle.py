@@ -42,7 +42,11 @@ def hist_leaf_spec():
 def test_generated_programs_pass_under_every_policy(model):
     for seed in range(20):
         verdict = check_spec(random_spec(seed), model=model)
-        assert verdict.ok, f"seed {seed}: {verdict.summary()}"
+        # A live generated trap faults the classic run by design; the
+        # spec is invalid for amnesic comparison, never *failing*.
+        assert verdict.ok or (verdict.invalid and not verdict.failures), (
+            f"seed {seed}: {verdict.summary()}"
+        )
         assert verdict.policies == POLICY_NAMES
 
 

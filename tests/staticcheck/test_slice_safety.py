@@ -59,6 +59,8 @@ def _tampered(compiled):
     "entry", load_corpus(CORPUS_DIR), ids=lambda entry: entry.name
 )
 def test_every_corpus_artifact_verifies_clean(entry, model):
+    if entry.expect == "classic-fault":
+        pytest.skip("classic run faults by design; no artifact to verify")
     program = materialize(entry.spec)
     compilation = compile_amnesic(program, model)
     report = verify_compilation(entry.name, program, compilation, model)
